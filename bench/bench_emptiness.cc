@@ -1,0 +1,50 @@
+// E-EMPT — §3.2: NWA emptiness by summary saturation, "cubic time, like
+// pushdown word automata or tree automata". Measures saturation time on
+// random automata of growing size.
+#include <cstdio>
+
+#include "nwa/decision.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+
+int main() {
+  using namespace nw;
+  Table t("E-EMPT (§3.2): emptiness saturation time vs automaton size");
+  t.Header({"states", "transitions", "empty", "time_ms",
+            "ms/states^3 * 1e6"});
+  Rng rng(9);
+  for (size_t s : {8u, 16u, 32u, 64u, 128u}) {
+    Nnwa a(2);
+    for (size_t i = 0; i < s; ++i) a.AddState(rng.Chance(1, 16));
+    a.AddInitial(0);
+    a.AddHierInitial(static_cast<StateId>(rng.Below(s)));
+    // Sparse random transitions, ~4 per state.
+    for (size_t i = 0; i < 4 * s; ++i) {
+      StateId q = static_cast<StateId>(rng.Below(s));
+      Symbol c = static_cast<Symbol>(rng.Below(2));
+      switch (rng.Below(3)) {
+        case 0:
+          a.AddInternal(q, c, static_cast<StateId>(rng.Below(s)));
+          break;
+        case 1:
+          a.AddCall(q, c, static_cast<StateId>(rng.Below(s)),
+                    static_cast<StateId>(rng.Below(s)));
+          break;
+        default:
+          a.AddReturn(q, static_cast<StateId>(rng.Below(s)), c,
+                      static_cast<StateId>(rng.Below(s)));
+      }
+    }
+    Stopwatch sw;
+    EmptinessResult r = CheckEmptiness(a);
+    double ms = sw.ElapsedMs();
+    double norm = ms / (double(s) * s * s) * 1e6;
+    t.Row({Table::Num(s), Table::Num(a.NumTransitions()),
+           r.empty ? "yes" : "no", Table::Dbl(ms, 2), Table::Dbl(norm, 3)});
+  }
+  t.Print();
+  std::printf("shape check: the normalized column stays bounded — "
+              "saturation is polynomial (cubic-ish), not exponential.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E-FIG1 — Figure 1 and §2.2–2.3: the encodings nw_w / w_nw and t_nw /
+// nw_t are mutually inverse bijections; counting check (3^ℓ·|Σ|^ℓ words of
+// length ℓ); encode/decode throughput.
+#include <cstdio>
+
+#include "nw/generate.h"
+#include "nw/text.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+#include "trees/ordered_tree.h"
+
+int main() {
+  using namespace nw;
+  Alphabet sigma;
+  Table t("E-FIG1: the three sample nested words of Figure 1");
+  t.Header({"word", "length", "depth", "well_matched", "rooted",
+            "tree_word"});
+  for (const char* text : {"<a <b a a> <b a b> a> <a b a a>",
+                           "a a> <b a a> <a <a", "<a <a a> <b b> a>"}) {
+    NestedWord n = ParseNestedWord(text, &sigma).Take();
+    t.Row({text, Table::Num(n.size()), Table::Num(n.Depth()),
+           n.IsWellMatched() ? "yes" : "no", n.IsRooted() ? "yes" : "no",
+           n.IsTreeWord() ? "yes" : "no"});
+  }
+  t.Print();
+
+  // Counting: exactly 3^ℓ·|Σ|^ℓ nested words of length ℓ (§2.2).
+  Table t2("E-FIG1: counting nested words (3^l · |Σ|^l over {a,b})");
+  t2.Header({"length", "enumerated", "3^l*2^l"});
+  for (size_t len = 0; len <= 6; ++len) {
+    size_t expected = 1;
+    for (size_t i = 0; i < len; ++i) expected *= 6;
+    t2.Row({Table::Num(len), Table::Num(EnumerateNestedWords(2, len).size()),
+            Table::Num(expected)});
+  }
+  t2.Print();
+
+  // Round-trip throughput: text format and tree codec.
+  Rng rng(1);
+  NestedWord big = RandomWellMatched(&rng, 2, 1u << 18);
+  Stopwatch sw;
+  std::string text = FormatNestedWord(big, Alphabet::Ab());
+  double fmt_ms = sw.ElapsedMs();
+  sw.Reset();
+  Alphabet sigma2 = Alphabet::Ab();
+  NestedWord back = ParseNestedWord(text, &sigma2).Take();
+  double parse_ms = sw.ElapsedMs();
+  NestedWord treeword = RandomTreeWord(&rng, 2, 1u << 16);
+  sw.Reset();
+  OrderedTree tr = NestedWordToTree(treeword).Take();
+  double dec_ms = sw.ElapsedMs();
+  sw.Reset();
+  NestedWord re = TreeToNestedWord(tr);
+  double enc_ms = sw.ElapsedMs();
+
+  Table t3("E-FIG1: codec throughput");
+  t3.Header({"operation", "positions", "ms", "Mpos/s", "roundtrip_ok"});
+  t3.Row({"format(nw->text)", Table::Num(big.size()), Table::Dbl(fmt_ms, 1),
+          Table::Dbl(big.size() / fmt_ms / 1000.0, 1), "-"});
+  t3.Row({"parse(text->nw)", Table::Num(big.size()), Table::Dbl(parse_ms, 1),
+          Table::Dbl(big.size() / parse_ms / 1000.0, 1),
+          back == big ? "yes" : "NO"});
+  t3.Row({"nw_t(decode tree)", Table::Num(treeword.size()),
+          Table::Dbl(dec_ms, 1),
+          Table::Dbl(treeword.size() / dec_ms / 1000.0, 1), "-"});
+  t3.Row({"t_nw(encode tree)", Table::Num(re.size()), Table::Dbl(enc_ms, 1),
+          Table::Dbl(re.size() / enc_ms / 1000.0, 1),
+          re == treeword ? "yes" : "NO"});
+  t3.Print();
+  return 0;
+}

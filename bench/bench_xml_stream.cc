@@ -1,0 +1,74 @@
+// E-XML — §1/§2.2: SAX streams are nested words without preprocessing;
+// NWA query evaluation streams at memory proportional to document depth.
+// google-benchmark timing series over document size and depth.
+#include <benchmark/benchmark.h>
+
+#include "support/table.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace nw;
+
+Alphabet DocAlphabet() {
+  Alphabet a;
+  a.Intern("#text");
+  a.Intern("x");
+  a.Intern("y");
+  a.Intern("z");
+  return a;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  Alphabet names = DocAlphabet();
+  Rng rng(1);
+  std::string doc =
+      RandomXmlDocument(&rng, names, static_cast<size_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    Alphabet local = names;
+    benchmark::DoNotOptimize(XmlToNestedWord(doc, &local));
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+}
+BENCHMARK(BM_Tokenize)->Range(1 << 12, 1 << 16);
+
+void BM_WellFormedQuery(benchmark::State& state) {
+  Alphabet names = DocAlphabet();
+  Rng rng(2);
+  std::string doc =
+      RandomXmlDocument(&rng, names, static_cast<size_t>(state.range(0)), 32);
+  Alphabet local = names;
+  NestedWord w = XmlToNestedWord(doc, &local);
+  Nwa q = WellFormedChecker(names.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Accepts(w));
+  }
+  state.SetItemsProcessed(state.iterations() * w.size());
+}
+BENCHMARK(BM_WellFormedQuery)->Range(1 << 12, 1 << 18);
+
+void DepthTable() {
+  Table t("E-XML: streaming memory = depth (positions fixed at 2^15)");
+  t.Header({"depth", "peak_stack_states"});
+  Alphabet names = DocAlphabet();
+  Rng rng(3);
+  Nwa q = WellFormedChecker(names.size());
+  for (size_t depth : {4u, 16u, 256u, 2048u}) {
+    std::string doc = RandomXmlDocument(&rng, names, 1u << 15, depth);
+    Alphabet local = names;
+    NestedWord w = XmlToNestedWord(doc, &local);
+    NwaRunner r(q);
+    r.Run(w);
+    t.Row({Table::Num(depth), Table::Num(r.MaxStackDepth())});
+  }
+  t.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DepthTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Annotated linguistic data as nested words — the paper's other headline
+// domain (§1): a sentence is the linear word sequence; the parse into
+// syntactic categories is the hierarchical structure. Nested words keep
+// *both* orders first-class, so one can run word-level queries (linear
+// patterns) and tree-level edits (Insert, subword extraction) on the same
+// object.
+//
+//   ./build/examples/linguistics
+#include <cstdio>
+
+#include "nw/ops.h"
+#include "nw/text.h"
+#include "nwa/nwa.h"
+#include "trees/ordered_tree.h"
+
+int main() {
+  using namespace nw;
+  Alphabet sigma;
+
+  // "the cat saw a dog" with an S(NP(det,n), VP(v, NP(det,n))) parse.
+  // Word tokens are internal positions; category brackets are calls and
+  // returns.
+  NestedWord sent =
+      ParseNestedWord(
+          "<S <NP det n NP> <VP v <NP det n NP> VP> S>", &sigma)
+          .Take();
+  std::printf("sentence: %s\n", FormatNestedWord(sent, sigma).c_str());
+  std::printf("length=%zu (tokens + brackets), parse depth=%zu\n",
+              sent.size(), sent.Depth());
+
+  // Linear query: some determiner is eventually followed by a verb —
+  // a plain word-automaton query over the token sequence that a tree
+  // model would have to thread through the hierarchy.
+  Symbol det = sigma.Find("det");
+  Symbol v = sigma.Find("v");
+  Nwa q(sigma.size());
+  StateId s0 = q.AddState(false);
+  StateId s1 = q.AddState(false);
+  StateId s2 = q.AddState(true);
+  q.set_initial(s0);
+  for (Symbol c = 0; c < sigma.size(); ++c) {
+    q.SetInternal(s0, c, c == det ? s1 : s0);
+    q.SetInternal(s1, c, c == v ? s2 : s1);
+    q.SetInternal(s2, c, s2);
+    // Brackets don't affect the token-order query: calls and returns are
+    // state-preserving no-ops (a flat automaton).
+    q.SetCall(s0, c, s0, s0);
+    q.SetCall(s1, c, s1, s0);
+    q.SetCall(s2, c, s2, s0);
+    q.SetReturn(s0, s0, c, s0);
+    q.SetReturn(s1, s0, c, s1);
+    q.SetReturn(s2, s0, c, s2);
+  }
+  std::printf("query 'det ... v' over the token order: %d\n",
+              q.Accepts(sent));
+
+  // Tree operation via word operation: insert an adverb phrase after
+  // every verb token (§2.4 Insert) — a tree edit done with splicing.
+  NestedWord advp = ParseNestedWord("<AdvP adv AdvP>", &sigma).Take();
+  NestedWord edited = Insert(sent, v, advp);
+  std::printf("after Insert(., v, AdvP): %s\n",
+              FormatNestedWord(edited, sigma).c_str());
+  std::printf("edited parse is still well-matched: %d\n",
+              edited.IsWellMatched());
+
+  // Fragment extraction: the verb phrase as a *subword* — cut edges
+  // become pending, which is precisely how a partial constituent looks.
+  // Locate the VP call and its return by scanning.
+  Matching m(sent);
+  for (size_t i = 0; i < sent.size(); ++i) {
+    if (sent.kind(i) == Kind::kCall && sent.symbol(i) == sigma.Find("VP")) {
+      NestedWord vp = Subword(sent, i, static_cast<size_t>(m.partner(i)) + 1);
+      std::printf("VP constituent: %s\n",
+                  FormatNestedWord(vp, sigma).c_str());
+      NestedWord cut = Subword(sent, i + 2, sent.size());
+      std::printf("a mid-constituent suffix (pending returns appear): %s\n",
+                  FormatNestedWord(cut, sigma).c_str());
+      break;
+    }
+  }
+  return 0;
+}

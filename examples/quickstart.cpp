@@ -1,0 +1,70 @@
+// Quickstart: nested words 101 — build the paper's Figure 1 words, inspect
+// their structure, and run a first nested word automaton.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "nw/nested_word.h"
+#include "nw/ops.h"
+#include "nw/text.h"
+#include "nwa/families.h"
+#include "nwa/nwa.h"
+#include "trees/ordered_tree.h"
+
+int main() {
+  using namespace nw;
+
+  // --- Nested words: the three samples of Figure 1. -----------------------
+  Alphabet sigma;
+  NestedWord n1 =
+      ParseNestedWord("<a <b a a> <b a b> a> <a b a a>", &sigma).Take();
+  NestedWord n2 = ParseNestedWord("a a> <b a a> <a <a", &sigma).Take();
+  NestedWord n3 = ParseNestedWord("<a <a a> <b b> a>", &sigma).Take();
+
+  auto describe = [&](const char* name, const NestedWord& n) {
+    Matching m(n);
+    std::printf("%s = %s\n", name, FormatNestedWord(n, sigma).c_str());
+    std::printf("  length=%zu depth=%zu well-matched=%d rooted=%d "
+                "pending-calls=%zu pending-returns=%zu\n",
+                n.size(), n.Depth(), n.IsWellMatched(), n.IsRooted(),
+                m.pending_calls(), m.pending_returns());
+  };
+  describe("n1", n1);
+  describe("n2", n2);
+  describe("n3", n3);
+
+  // n3 is a tree word: decode it back to the ordered tree a(a(),b()).
+  OrderedTree t = NestedWordToTree(n3).Take();
+  std::printf("n3 decodes to the ordered tree: %s\n",
+              FormatTree(t, sigma).c_str());
+
+  // --- Word operations (§2.4). --------------------------------------------
+  NestedWord pre = Prefix(n1, 3);
+  NestedWord suf = Suffix(n1, 3);
+  std::printf("prefix(n1,3) = %s   (note the pending call)\n",
+              FormatNestedWord(pre, sigma).c_str());
+  std::printf("suffix(n1,3) = %s   (note the pending return)\n",
+              FormatNestedWord(suf, sigma).c_str());
+  std::printf("concat(prefix,suffix) == n1: %d\n",
+              Concat(pre, suf) == n1);
+  std::printf("reverse(n3) = %s\n",
+              FormatNestedWord(Reverse(n3), sigma).c_str());
+
+  // --- A first automaton: Theorem 3's path-language acceptor. -------------
+  // L = { path(w) : w ∈ {a,b}^4 }: O(s) NWA states where every word
+  // automaton needs 2^s.
+  Nwa acceptor = Thm3PathNwa(4);
+  std::printf("\nThm3 NWA over {a,b}, s=4: %zu states, %zu transitions\n",
+              acceptor.num_states(), acceptor.NumTransitions());
+  NestedWord member = NestedWord::Path({0, 1, 1, 0});
+  NestedWord not_member = NestedWord::Path({0, 1, 1});
+  std::printf("accepts path(abba) = %d, accepts path(abb) = %d\n",
+              acceptor.Accepts(member), acceptor.Accepts(not_member));
+
+  // Streaming: feed symbol by symbol, watch the stack.
+  NwaRunner runner(acceptor);
+  for (const TaggedSymbol& ts : member.tagged()) runner.Feed(ts);
+  std::printf("streamed run: accepting=%d, peak stack depth=%zu\n",
+              runner.Accepting(), runner.MaxStackDepth());
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "nw/generate.h"
+
+#include <vector>
+
+namespace nw {
+namespace {
+
+Symbol RandSym(Rng* rng, size_t num_symbols) {
+  return static_cast<Symbol>(rng->Below(num_symbols));
+}
+
+// Emits a random well-matched block of exactly `len` positions into *out.
+// Grammar: W ::= ε | i W | <a W a> W, chosen to consume the budget exactly.
+void EmitWellMatched(Rng* rng, size_t num_symbols, size_t len,
+                     int internal_percent, std::vector<TaggedSymbol>* out) {
+  while (len > 0) {
+    bool internal = len == 1 || rng->Chance(internal_percent, 100);
+    if (internal) {
+      out->push_back(Internal(RandSym(rng, num_symbols)));
+      --len;
+      continue;
+    }
+    // Call-wrapped block: choose the inside size within the remaining
+    // budget, leave the rest for the continuation of the loop.
+    size_t inside = rng->Below(len - 1);  // in [0, len-2]
+    Symbol s = RandSym(rng, num_symbols);
+    out->push_back(Call(s));
+    EmitWellMatched(rng, num_symbols, inside, internal_percent, out);
+    out->push_back(Return(RandSym(rng, num_symbols)));
+    len -= inside + 2;
+  }
+}
+
+// Emits a random tree with `nodes` nodes as a tree word.
+void EmitTree(Rng* rng, size_t num_symbols, size_t nodes,
+              std::vector<TaggedSymbol>* out) {
+  if (nodes == 0) return;
+  Symbol s = RandSym(rng, num_symbols);
+  out->push_back(Call(s));
+  size_t budget = nodes - 1;  // nodes available for children subtrees
+  while (budget > 0) {
+    size_t child = 1 + rng->Below(budget);
+    EmitTree(rng, num_symbols, child, out);
+    budget -= child;
+  }
+  out->push_back(Return(s));
+}
+
+}  // namespace
+
+NestedWord RandomNestedWord(Rng* rng, size_t num_symbols, size_t length) {
+  std::vector<TaggedSymbol> seq;
+  seq.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    Kind k = static_cast<Kind>(rng->Below(3));
+    seq.push_back({k, RandSym(rng, num_symbols)});
+  }
+  return NestedWord(std::move(seq));
+}
+
+NestedWord RandomWellMatched(Rng* rng, size_t num_symbols, size_t length,
+                             int internal_percent) {
+  std::vector<TaggedSymbol> seq;
+  seq.reserve(length);
+  EmitWellMatched(rng, num_symbols, length, internal_percent, &seq);
+  return NestedWord(std::move(seq));
+}
+
+NestedWord RandomTreeWord(Rng* rng, size_t num_symbols, size_t num_nodes) {
+  std::vector<TaggedSymbol> seq;
+  seq.reserve(2 * num_nodes);
+  EmitTree(rng, num_symbols, num_nodes, &seq);
+  return NestedWord(std::move(seq));
+}
+
+std::vector<NestedWord> EnumerateNestedWords(size_t num_symbols,
+                                             size_t length) {
+  const size_t letters = 3 * num_symbols;
+  size_t total = 1;
+  for (size_t i = 0; i < length; ++i) total *= letters;
+  std::vector<NestedWord> out;
+  out.reserve(total);
+  for (size_t code = 0; code < total; ++code) {
+    size_t c = code;
+    std::vector<TaggedSymbol> seq(length);
+    for (size_t i = 0; i < length; ++i) {
+      size_t letter = c % letters;
+      c /= letters;
+      seq[i] = {static_cast<Kind>(letter / num_symbols),
+                static_cast<Symbol>(letter % num_symbols)};
+    }
+    out.push_back(NestedWord(std::move(seq)));
+  }
+  return out;
+}
+
+NestedWord RandomWithDepth(Rng* rng, size_t num_symbols, size_t length,
+                           size_t depth) {
+  std::vector<TaggedSymbol> seq;
+  seq.reserve(length);
+  size_t open = 0;
+  while (seq.size() < length) {
+    size_t remaining = length - seq.size();
+    if (remaining <= open) {
+      // Must close everything now.
+      seq.push_back(Return(RandSym(rng, num_symbols)));
+      --open;
+      continue;
+    }
+    uint64_t pick = rng->Below(3);
+    if (pick == 0 && open + 1 < depth + 1 && remaining > open + 1) {
+      seq.push_back(Call(RandSym(rng, num_symbols)));
+      ++open;
+    } else if (pick == 1 && open > 0) {
+      seq.push_back(Return(RandSym(rng, num_symbols)));
+      --open;
+    } else {
+      seq.push_back(Internal(RandSym(rng, num_symbols)));
+    }
+  }
+  return NestedWord(std::move(seq));
+}
+
+}  // namespace nw

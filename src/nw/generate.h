@@ -1,0 +1,41 @@
+// Workload generators: random nested words of controllable shape. Used by
+// property tests (random cross-validation of automata constructions) and by
+// the benchmark harnesses as synthetic data (the paper's linguistic/XML
+// workloads are not redistributable; these generators exercise the same
+// code paths — see DESIGN.md §1).
+#ifndef NW_NW_GENERATE_H_
+#define NW_NW_GENERATE_H_
+
+#include "nw/nested_word.h"
+#include "support/rng.h"
+
+namespace nw {
+
+/// A uniformly random tagged word: each position independently gets one of
+/// the 3·|Σ| tagged letters. Exercises pending calls and returns.
+NestedWord RandomNestedWord(Rng* rng, size_t num_symbols, size_t length);
+
+/// A random *well-matched* nested word of exactly `length` positions
+/// (length counts calls, returns and internals). `internal_percent`
+/// controls the fraction of internal positions.
+NestedWord RandomWellMatched(Rng* rng, size_t num_symbols, size_t length,
+                             int internal_percent = 34);
+
+/// A random tree word (§2.3): rooted, no internals, matching labels; the
+/// image of a random ordered tree with `num_nodes` nodes.
+NestedWord RandomTreeWord(Rng* rng, size_t num_symbols, size_t num_nodes);
+
+/// A random word with controlled nesting depth: repeated ramps of `depth`
+/// calls and returns with internal filler; useful for the streaming-memory
+/// experiments (E-MEM, E-XML).
+NestedWord RandomWithDepth(Rng* rng, size_t num_symbols, size_t length,
+                           size_t depth);
+
+/// All 3^ℓ·|Σ|^ℓ nested words of length exactly `length` — exhaustive
+/// cross-validation input for small lengths (§2.2's counting argument).
+std::vector<NestedWord> EnumerateNestedWords(size_t num_symbols,
+                                             size_t length);
+
+}  // namespace nw
+
+#endif  // NW_NW_GENERATE_H_

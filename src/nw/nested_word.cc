@@ -1,0 +1,117 @@
+#include "nw/nested_word.h"
+
+#include <vector>
+
+namespace nw {
+
+Matching::Matching(const NestedWord& word) {
+  const size_t n = word.size();
+  partner_.assign(n, kNone);
+  call_parent_.assign(n, kTopLevel);
+
+  // Stack of open call positions. Calls that remain at the end are pending.
+  std::vector<size_t> stack;
+  size_t matched_depth = 0;  // number of eventually-matched opens — see below
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      // Call-parent recurrence (§2.1, shifted to 0-based): after a call the
+      // parent is that call; internals keep the parent; after a return the
+      // parent pops to the return's call-predecessor's parent.
+      switch (word.kind(i - 1)) {
+        case Kind::kCall:
+          call_parent_[i] = static_cast<int64_t>(i - 1);
+          break;
+        case Kind::kInternal:
+          call_parent_[i] = call_parent_[i - 1];
+          break;
+        case Kind::kReturn: {
+          int64_t pred = partner_[i - 1];
+          call_parent_[i] =
+              pred >= 0 ? call_parent_[static_cast<size_t>(pred)] : kTopLevel;
+          break;
+        }
+      }
+    }
+    switch (word.kind(i)) {
+      case Kind::kInternal:
+        break;
+      case Kind::kCall:
+        stack.push_back(i);
+        break;
+      case Kind::kReturn:
+        if (stack.empty()) {
+          partner_[i] = kPendingNegInf;
+          ++pending_returns_;
+        } else {
+          size_t c = stack.back();
+          stack.pop_back();
+          partner_[c] = static_cast<int64_t>(i);
+          partner_[i] = static_cast<int64_t>(c);
+        }
+        break;
+    }
+  }
+  for (size_t c : stack) {
+    partner_[c] = kPendingInf;
+    ++pending_calls_;
+  }
+
+  // Depth: one more pass now that matched pairs are known. Only matched
+  // calls contribute to the nesting chain of §2.1.
+  for (size_t i = 0; i < n; ++i) {
+    if (word.kind(i) == Kind::kCall && partner_[i] >= 0) {
+      ++matched_depth;
+      if (matched_depth > depth_) depth_ = matched_depth;
+    } else if (word.kind(i) == Kind::kReturn && partner_[i] >= 0) {
+      --matched_depth;
+    }
+  }
+}
+
+bool NestedWord::IsWellMatched() const {
+  // Single scan without building full Matching: a word is well-matched iff
+  // no return fires on an empty stack and the stack ends empty.
+  int64_t open = 0;
+  for (const TaggedSymbol& t : seq_) {
+    if (t.kind == Kind::kCall) ++open;
+    if (t.kind == Kind::kReturn) {
+      if (open == 0) return false;
+      --open;
+    }
+  }
+  return open == 0;
+}
+
+bool NestedWord::IsRooted() const {
+  if (seq_.size() < 2) return false;
+  if (seq_.front().kind != Kind::kCall || seq_.back().kind != Kind::kReturn)
+    return false;
+  // Position 0 matches the last position iff the open-count stays positive
+  // strictly inside the word and the word is well-matched.
+  int64_t open = 0;
+  for (size_t i = 0; i < seq_.size(); ++i) {
+    if (seq_[i].kind == Kind::kCall) ++open;
+    if (seq_[i].kind == Kind::kReturn) --open;
+    if (open < 0) return false;
+    if (open == 0 && i + 1 != seq_.size()) return false;
+  }
+  return open == 0;
+}
+
+bool NestedWord::IsTreeWord() const {
+  if (!IsRooted()) return false;
+  Matching m(*this);
+  for (size_t i = 0; i < seq_.size(); ++i) {
+    if (seq_[i].kind == Kind::kInternal) return false;
+    if (seq_[i].kind == Kind::kCall) {
+      int64_t j = m.partner(i);
+      NW_DCHECK(j >= 0);  // rooted words are well-matched
+      if (seq_[static_cast<size_t>(j)].symbol != seq_[i].symbol) return false;
+    }
+  }
+  return true;
+}
+
+size_t NestedWord::Depth() const { return Matching(*this).depth(); }
+
+}  // namespace nw

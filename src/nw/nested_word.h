@@ -1,0 +1,159 @@
+// Nested words (paper §2.1–§2.2).
+//
+// A nested word over Σ is a linear sequence of Σ-labeled positions together
+// with a matching relation connecting calls to returns. Because position
+// types (call / internal / return) determine the matching relation uniquely
+// (the bijection nw_w of §2.2), the library represents a nested word as its
+// *tagged word*: a sequence of (kind, symbol) pairs. Every tagged sequence
+// is a valid nested word — including ones with pending calls and returns —
+// which is exactly the paper's point about representing data that "may not
+// parse correctly".
+//
+// Positions are 0-based in this library (the paper is 1-based).
+#ifndef NW_NW_NESTED_WORD_H_
+#define NW_NW_NESTED_WORD_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "nw/alphabet.h"
+#include "support/check.h"
+
+namespace nw {
+
+/// Position type within a nested word.
+enum class Kind : uint8_t {
+  kInternal = 0,  ///< plain linear position
+  kCall = 1,      ///< opens a hierarchical edge (paper: <a)
+  kReturn = 2,    ///< closes a hierarchical edge (paper: a>)
+};
+
+/// One position of a nested word: its type and its Σ-label.
+/// Corresponds to one letter of the tagged alphabet Σ̂ = {<a, a, a>}.
+struct TaggedSymbol {
+  Kind kind;
+  Symbol symbol;
+
+  friend bool operator==(const TaggedSymbol&, const TaggedSymbol&) = default;
+};
+
+/// Convenience constructors for tagged symbols.
+inline TaggedSymbol Call(Symbol s) { return {Kind::kCall, s}; }
+inline TaggedSymbol Internal(Symbol s) { return {Kind::kInternal, s}; }
+inline TaggedSymbol Return(Symbol s) { return {Kind::kReturn, s}; }
+
+class Matching;
+
+/// A nested word: value type wrapping the tagged-word encoding.
+///
+/// The matching relation, nesting depth, call-parents etc. are derived
+/// views; compute them with the Matching class. All of §2.4's operations
+/// (concatenation, subwords, reverse, insertion) live in nw/ops.h.
+class NestedWord {
+ public:
+  /// The empty nested word.
+  NestedWord() = default;
+
+  /// From an explicit tagged sequence.
+  explicit NestedWord(std::vector<TaggedSymbol> seq) : seq_(std::move(seq)) {}
+  NestedWord(std::initializer_list<TaggedSymbol> seq) : seq_(seq) {}
+
+  /// w_nw of §2.2 restricted to plain words: every position internal.
+  static NestedWord FromWord(const std::vector<Symbol>& word) {
+    std::vector<TaggedSymbol> seq;
+    seq.reserve(word.size());
+    for (Symbol s : word) seq.push_back(Internal(s));
+    return NestedWord(std::move(seq));
+  }
+
+  /// path(w) of §2.2: <a1 ... <aℓ aℓ> ... a1>; rooted, depth |w|.
+  static NestedWord Path(const std::vector<Symbol>& word) {
+    std::vector<TaggedSymbol> seq;
+    seq.reserve(2 * word.size());
+    for (Symbol s : word) seq.push_back(Call(s));
+    for (auto it = word.rbegin(); it != word.rend(); ++it)
+      seq.push_back(Return(*it));
+    return NestedWord(std::move(seq));
+  }
+
+  /// Number of positions (the paper's length ℓ).
+  size_t size() const { return seq_.size(); }
+  bool empty() const { return seq_.empty(); }
+
+  const TaggedSymbol& operator[](size_t i) const { return seq_[i]; }
+  Kind kind(size_t i) const { return seq_[i].kind; }
+  Symbol symbol(size_t i) const { return seq_[i].symbol; }
+
+  const std::vector<TaggedSymbol>& tagged() const { return seq_; }
+  std::vector<TaggedSymbol>* mutable_tagged() { return &seq_; }
+
+  /// Appends one position (builder-style use).
+  void Push(TaggedSymbol t) { seq_.push_back(t); }
+
+  friend bool operator==(const NestedWord&, const NestedWord&) = default;
+
+  // -- Derived structure (each is O(ℓ); use Matching to batch queries). --
+
+  /// True iff every call has a return-successor and vice versa (§2.1).
+  bool IsWellMatched() const;
+  /// True iff position 0 is a call matched by the last position (§2.1).
+  /// Rooted words are necessarily well-matched.
+  bool IsRooted() const;
+  /// Tree words (§2.3): rooted, no internals, and matching positions carry
+  /// equal labels. These are exactly the images of ordered trees.
+  bool IsTreeWord() const;
+  /// Nesting depth (§2.1): the maximum d such that d *matched* call/return
+  /// pairs are properly nested inside one another. Pending edges do not
+  /// contribute (they cannot appear in the paper's i1<...<id<jd<...<j1
+  /// chain, which requires both endpoints).
+  size_t Depth() const;
+
+ private:
+  std::vector<TaggedSymbol> seq_;
+};
+
+/// Matching relation and call-parent structure of a nested word (§2.1),
+/// computed in one O(ℓ) scan.
+class Matching {
+ public:
+  /// Partner index of a pending call (paper: i ⇝ +∞).
+  static constexpr int64_t kPendingInf = -2;
+  /// Partner index of a pending return (paper: −∞ ⇝ j).
+  static constexpr int64_t kPendingNegInf = -3;
+  /// Partner of an internal position.
+  static constexpr int64_t kNone = -1;
+  /// call_parent() value for top-level positions (paper's call-parent 0).
+  static constexpr int64_t kTopLevel = -1;
+
+  explicit Matching(const NestedWord& word);
+
+  /// For a call: index of its return-successor or kPendingInf.
+  /// For a return: index of its call-predecessor or kPendingNegInf.
+  /// For an internal: kNone.
+  int64_t partner(size_t i) const { return partner_[i]; }
+
+  /// Innermost call position strictly enclosing position i, or kTopLevel.
+  /// Mirrors the paper's call-parent (shifted to 0-based positions: the
+  /// paper's "call-parent of i+1" is `call_parent(i)` here, with the
+  /// paper's 0 represented as kTopLevel).
+  int64_t call_parent(size_t i) const { return call_parent_[i]; }
+
+  size_t depth() const { return depth_; }
+  bool well_matched() const {
+    return pending_calls_ == 0 && pending_returns_ == 0;
+  }
+  size_t pending_calls() const { return pending_calls_; }
+  size_t pending_returns() const { return pending_returns_; }
+
+ private:
+  std::vector<int64_t> partner_;
+  std::vector<int64_t> call_parent_;
+  size_t depth_ = 0;
+  size_t pending_calls_ = 0;
+  size_t pending_returns_ = 0;
+};
+
+}  // namespace nw
+
+#endif  // NW_NW_NESTED_WORD_H_

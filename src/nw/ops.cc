@@ -1,0 +1,58 @@
+#include "nw/ops.h"
+
+#include <algorithm>
+
+namespace nw {
+
+NestedWord Concat(const NestedWord& a, const NestedWord& b) {
+  std::vector<TaggedSymbol> seq;
+  seq.reserve(a.size() + b.size());
+  seq.insert(seq.end(), a.tagged().begin(), a.tagged().end());
+  seq.insert(seq.end(), b.tagged().begin(), b.tagged().end());
+  return NestedWord(std::move(seq));
+}
+
+NestedWord Subword(const NestedWord& n, size_t begin, size_t end) {
+  if (begin >= end || begin >= n.size()) return NestedWord();
+  end = std::min(end, n.size());
+  std::vector<TaggedSymbol> seq(n.tagged().begin() + begin,
+                                n.tagged().begin() + end);
+  return NestedWord(std::move(seq));
+}
+
+NestedWord Prefix(const NestedWord& n, size_t k) { return Subword(n, 0, k); }
+
+NestedWord Suffix(const NestedWord& n, size_t k) {
+  return Subword(n, k, n.size());
+}
+
+NestedWord Reverse(const NestedWord& n) {
+  std::vector<TaggedSymbol> seq;
+  seq.reserve(n.size());
+  for (auto it = n.tagged().rbegin(); it != n.tagged().rend(); ++it) {
+    TaggedSymbol t = *it;
+    if (t.kind == Kind::kCall) {
+      t.kind = Kind::kReturn;
+    } else if (t.kind == Kind::kReturn) {
+      t.kind = Kind::kCall;
+    }
+    seq.push_back(t);
+  }
+  return NestedWord(std::move(seq));
+}
+
+NestedWord Insert(const NestedWord& n, Symbol a, const NestedWord& np) {
+  NW_CHECK_MSG(np.IsWellMatched(),
+               "Insert requires a well-matched word to insert (paper §2.4)");
+  std::vector<TaggedSymbol> seq;
+  seq.reserve(n.size());
+  for (const TaggedSymbol& t : n.tagged()) {
+    seq.push_back(t);
+    if (t.symbol == a) {
+      seq.insert(seq.end(), np.tagged().begin(), np.tagged().end());
+    }
+  }
+  return NestedWord(std::move(seq));
+}
+
+}  // namespace nw

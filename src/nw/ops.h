@@ -1,0 +1,41 @@
+// Operations on nested words (paper §2.4).
+//
+// All operations act on the tagged-word encoding; because w_nw is a
+// bijection (§2.2), splicing tagged sequences implements exactly the
+// paper's definitions — e.g. concatenation implicitly re-matches pending
+// calls of the first operand with pending returns of the second.
+#ifndef NW_NW_OPS_H_
+#define NW_NW_OPS_H_
+
+#include "nw/nested_word.h"
+
+namespace nw {
+
+/// Concatenation n · n′ (§2.4). Pending calls of `a` may become matched by
+/// pending returns of `b` in the result.
+NestedWord Concat(const NestedWord& a, const NestedWord& b);
+
+/// Subword n[i, j) in 0-based half-open convention; the paper's n[i, j]
+/// (1-based, inclusive) is Subword(n, i-1, j). Out-of-range or empty ranges
+/// yield the empty nested word, mirroring the paper. Hierarchical edges
+/// crossing the boundary become pending in the subword.
+NestedWord Subword(const NestedWord& n, size_t begin, size_t end);
+
+/// Prefix n[0, k) — the paper's n[1, k].
+NestedWord Prefix(const NestedWord& n, size_t k);
+
+/// Suffix n[k, ℓ) — the paper's n[k+1, ℓ]. Concat(Prefix(n,k), Suffix(n,k))
+/// always gives back n (§2.4).
+NestedWord Suffix(const NestedWord& n, size_t k);
+
+/// Reverse (§2.4): reverses the linear order and flips every hierarchical
+/// edge, i.e. calls become returns and vice versa.
+NestedWord Reverse(const NestedWord& n);
+
+/// Insert(n, a, n′) (§2.4): inserts the well-matched word n′ after every
+/// a-labeled position of n. Checks that n′ is well-matched.
+NestedWord Insert(const NestedWord& n, Symbol a, const NestedWord& np);
+
+}  // namespace nw
+
+#endif  // NW_NW_OPS_H_

@@ -1,0 +1,61 @@
+#include "nw/text.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace nw {
+
+Result<NestedWord> ParseNestedWord(const std::string& text,
+                                   Alphabet* alphabet) {
+  std::vector<TaggedSymbol> seq;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) {
+    Kind kind = Kind::kInternal;
+    std::string name = tok;
+    if (!name.empty() && name.front() == '<') {
+      kind = Kind::kCall;
+      name = name.substr(1);
+    }
+    if (!name.empty() && name.back() == '>') {
+      if (kind == Kind::kCall) {
+        return Status::Error("token is both call and return: " + tok);
+      }
+      kind = Kind::kReturn;
+      name = name.substr(0, name.size() - 1);
+    }
+    if (name.empty()) {
+      return Status::Error("empty symbol name in token: " + tok);
+    }
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        return Status::Error("invalid character in symbol name: " + tok);
+      }
+    }
+    seq.push_back({kind, alphabet->Intern(name)});
+  }
+  return NestedWord(std::move(seq));
+}
+
+std::string FormatNestedWord(const NestedWord& n, const Alphabet& alphabet) {
+  std::string out;
+  for (size_t i = 0; i < n.size(); ++i) {
+    if (i > 0) out += ' ';
+    switch (n.kind(i)) {
+      case Kind::kCall:
+        out += '<';
+        out += alphabet.Name(n.symbol(i));
+        break;
+      case Kind::kInternal:
+        out += alphabet.Name(n.symbol(i));
+        break;
+      case Kind::kReturn:
+        out += alphabet.Name(n.symbol(i));
+        out += '>';
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace nw

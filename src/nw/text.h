@@ -1,0 +1,24 @@
+// Textual format for nested words, matching the paper's Figure 1 notation:
+// whitespace-separated tokens `<a` (call), `a` (internal), `a>` (return).
+#ifndef NW_NW_TEXT_H_
+#define NW_NW_TEXT_H_
+
+#include <string>
+
+#include "nw/nested_word.h"
+#include "support/result.h"
+
+namespace nw {
+
+/// Parses the Figure-1 notation. New symbol names are interned into
+/// `*alphabet`. Example: "<a <b a a> <b a b> a> <a b a a>" is the prefix of
+/// the paper's n1.
+Result<NestedWord> ParseNestedWord(const std::string& text,
+                                   Alphabet* alphabet);
+
+/// Formats in the same notation.
+std::string FormatNestedWord(const NestedWord& n, const Alphabet& alphabet);
+
+}  // namespace nw
+
+#endif  // NW_NW_TEXT_H_

@@ -1,0 +1,241 @@
+#include "nwa/decision.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "nwa/language_ops.h"
+#include "support/check.h"
+
+namespace nw {
+namespace {
+
+uint64_t Pack(StateId a, StateId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Derivation record for a well-matched summary (q, q'), for witness
+// reconstruction.
+struct Deriv {
+  enum Kind { kBase, kInternal, kWrap } kind;
+  uint64_t prev = 0;   // summary this one extends
+  uint64_t inner = 0;  // inner summary (kWrap)
+  Symbol call_sym = 0;
+  Symbol ret_sym = 0;  // also the internal symbol for kInternal
+};
+
+struct Summaries {
+  std::unordered_map<uint64_t, Deriv> deriv;
+  std::vector<std::vector<StateId>> by_first;   // q -> list of q'
+  std::vector<std::vector<StateId>> by_second;  // q' -> list of q
+
+  bool Has(StateId q, StateId q2) const {
+    return deriv.count(Pack(q, q2)) != 0;
+  }
+};
+
+// Appends the witness of summary `key` to *out.
+void BuildSummaryWitness(const Summaries& s, uint64_t key,
+                         std::vector<TaggedSymbol>* out) {
+  const Deriv& d = s.deriv.at(key);
+  switch (d.kind) {
+    case Deriv::kBase:
+      return;
+    case Deriv::kInternal:
+      BuildSummaryWitness(s, d.prev, out);
+      out->push_back(Internal(d.ret_sym));
+      return;
+    case Deriv::kWrap:
+      BuildSummaryWitness(s, d.prev, out);
+      out->push_back(Call(d.call_sym));
+      BuildSummaryWitness(s, d.inner, out);
+      out->push_back(Return(d.ret_sym));
+      return;
+  }
+}
+
+// Saturates the well-matched summary relation WM ⊆ Q×Q:
+//   (q,q) always; extend by internal transitions; wrap-and-extend by
+//   matched call/return pairs around an inner summary.
+Summaries SaturateSummaries(const Nnwa& a) {
+  const size_t s = a.num_states();
+  const size_t k = a.num_symbols();
+  Summaries sum;
+  sum.by_first.resize(s);
+  sum.by_second.resize(s);
+
+  // Calls indexed by their linear target, for the inner-of-wrap direction.
+  struct CallBySrc {
+    StateId src;
+    Symbol sym;
+    StateId hier;
+  };
+  std::vector<std::vector<CallBySrc>> calls_by_ltarget(s);
+  for (StateId q = 0; q < s; ++q) {
+    for (Symbol c = 0; c < k; ++c) {
+      for (const CallEdge& e : a.CallTargets(q, c)) {
+        calls_by_ltarget[e.linear].push_back({q, c, e.hier});
+      }
+    }
+  }
+
+  std::vector<uint64_t> work;
+  auto add = [&](StateId q, StateId q2, Deriv d) {
+    uint64_t key = Pack(q, q2);
+    if (sum.deriv.count(key)) return;
+    sum.deriv.emplace(key, d);
+    sum.by_first[q].push_back(q2);
+    sum.by_second[q2].push_back(q);
+    work.push_back(key);
+  };
+  for (StateId q = 0; q < s; ++q) add(q, q, {Deriv::kBase, 0, 0, 0, 0});
+
+  // Applies the wrap rule given left summary (q, q1), call transition
+  // (q1, csym, ql, qh) and inner summary (ql, q2).
+  auto wrap = [&](StateId q, StateId q1, Symbol csym, StateId qh, StateId ql,
+                  StateId q2) {
+    for (Symbol b = 0; b < k; ++b) {
+      for (const ReturnEdge& re : a.ReturnEdges(q2, b)) {
+        if (re.hier != qh) continue;
+        add(q, re.target,
+            {Deriv::kWrap, Pack(q, q1), Pack(ql, q2), csym, b});
+      }
+    }
+  };
+
+  while (!work.empty()) {
+    uint64_t key = work.back();
+    work.pop_back();
+    StateId q = static_cast<StateId>(key >> 32);
+    StateId q1 = static_cast<StateId>(key & 0xffffffffu);
+    // Extend by an internal transition.
+    for (Symbol c = 0; c < k; ++c) {
+      for (StateId t : a.InternalTargets(q1, c)) {
+        add(q, t, {Deriv::kInternal, key, 0, 0, c});
+      }
+    }
+    // This pair as the *left* part of a wrap.
+    for (Symbol c = 0; c < k; ++c) {
+      for (const CallEdge& e : a.CallTargets(q1, c)) {
+        // Inner summaries starting at e.linear. Copy: `add` mutates.
+        std::vector<StateId> inners = sum.by_first[e.linear];
+        for (StateId q2 : inners) wrap(q, q1, c, e.hier, e.linear, q2);
+      }
+    }
+    // This pair as the *inner* part of a wrap: q plays ql, q1 plays q2.
+    for (const CallBySrc& cb : calls_by_ltarget[q]) {
+      std::vector<StateId> lefts = sum.by_second[cb.src];
+      for (StateId q0 : lefts) wrap(q0, cb.src, cb.sym, cb.hier, q, q1);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+EmptinessResult CheckEmptiness(const Nnwa& a) {
+  const size_t s = a.num_states();
+  const size_t k = a.num_symbols();
+  Summaries sum = SaturateSummaries(a);
+
+  // Linear reachability in two phases: pending returns may only precede
+  // pending calls. Parent edges record how each (state, phase) was
+  // reached, for witness reconstruction.
+  struct Parent {
+    StateId prev;
+    int prev_phase;
+    enum Kind { kStart, kSummary, kPendingReturn, kPendingCall } kind;
+    uint64_t summary = 0;
+    Symbol sym = 0;
+  };
+  // reach[phase][state]
+  std::vector<std::vector<std::optional<Parent>>> reach(
+      2, std::vector<std::optional<Parent>>(s));
+  std::vector<std::pair<int, StateId>> work;
+  auto visit = [&](int phase, StateId q, Parent p) {
+    if (reach[phase][q].has_value()) return;
+    reach[phase][q] = p;
+    work.push_back({phase, q});
+  };
+  for (StateId q0 : a.initial()) {
+    visit(0, q0, {0, 0, Parent::kStart, 0, 0});
+  }
+  while (!work.empty()) {
+    auto [phase, q] = work.back();
+    work.pop_back();
+    // Well-matched segment.
+    for (StateId t : sum.by_first[q]) {
+      visit(phase, t, {q, phase, Parent::kSummary, Pack(q, t), 0});
+    }
+    // Pending return (phase 0 only).
+    if (phase == 0) {
+      for (Symbol c = 0; c < k; ++c) {
+        for (const ReturnEdge& e : a.ReturnEdges(q, c)) {
+          for (StateId p0 : a.hier_initial()) {
+            if (e.hier == p0) {
+              visit(0, e.target, {q, 0, Parent::kPendingReturn, 0, c});
+              break;
+            }
+          }
+        }
+      }
+    }
+    // Pending call: moves (and keeps) the run in phase 1.
+    for (Symbol c = 0; c < k; ++c) {
+      for (const CallEdge& e : a.CallTargets(q, c)) {
+        visit(1, e.linear, {q, phase, Parent::kPendingCall, 0, c});
+      }
+    }
+  }
+
+  for (int phase = 0; phase < 2; ++phase) {
+    for (StateId q = 0; q < s; ++q) {
+      if (!reach[phase][q].has_value() || !a.is_final(q)) continue;
+      // Reconstruct the witness by walking parents backwards.
+      std::vector<Parent> chain;
+      int ph = phase;
+      StateId cur = q;
+      while (true) {
+        Parent p = *reach[ph][cur];
+        chain.push_back(p);
+        if (p.kind == Parent::kStart) break;
+        cur = p.prev;
+        ph = p.prev_phase;
+      }
+      std::vector<TaggedSymbol> word;
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        switch (it->kind) {
+          case Parent::kStart:
+            break;
+          case Parent::kSummary:
+            BuildSummaryWitness(sum, it->summary, &word);
+            break;
+          case Parent::kPendingReturn:
+            word.push_back(Return(it->sym));
+            break;
+          case Parent::kPendingCall:
+            word.push_back(Call(it->sym));
+            break;
+        }
+      }
+      return {false, NestedWord(std::move(word))};
+    }
+  }
+  return {true, std::nullopt};
+}
+
+InclusionResult CheckInclusion(const Nnwa& a, const Nnwa& b) {
+  Nnwa not_b = ComplementN(b);
+  EmptinessResult r = CheckEmptiness(Intersect(a, not_b));
+  if (r.empty) return {true, std::nullopt};
+  return {false, std::move(r.witness)};
+}
+
+EquivalenceResult CheckEquivalence(const Nnwa& a, const Nnwa& b) {
+  InclusionResult ab = CheckInclusion(a, b);
+  if (!ab.included) return {false, std::move(ab.counterexample)};
+  InclusionResult ba = CheckInclusion(b, a);
+  if (!ba.included) return {false, std::move(ba.counterexample)};
+  return {true, std::nullopt};
+}
+
+}  // namespace nw

@@ -1,0 +1,48 @@
+// Decision problems for nested word automata (§3.2): emptiness (cubic,
+// via well-matched summaries — the same technique as for pushdown word
+// automata), language inclusion and equivalence (via complementation and
+// product, Exptime for nondeterministic inputs as the paper notes).
+#ifndef NW_NWA_DECISION_H_
+#define NW_NWA_DECISION_H_
+
+#include <optional>
+
+#include "nw/nested_word.h"
+#include "nwa/nnwa.h"
+
+namespace nw {
+
+/// Emptiness result with an optional witness word.
+struct EmptinessResult {
+  bool empty;
+  /// A member of the language when non-empty (shortest-ish derivation,
+  /// not guaranteed minimal). Validated against the runner in tests.
+  std::optional<NestedWord> witness;
+};
+
+/// Decides L(a) = ∅ by saturating well-matched summaries WM ⊆ Q×Q and
+/// closing over pending returns then pending calls (in every nested word
+/// all pending returns precede all pending calls).
+EmptinessResult CheckEmptiness(const Nnwa& a);
+
+/// Convenience wrapper.
+inline bool IsEmpty(const Nnwa& a) { return CheckEmptiness(a).empty; }
+
+/// L(a) ⊆ L(b)? Via a ∩ complement(b) = ∅. Exponential in |b| (the paper's
+/// Exptime bound); returns a counterexample word when inclusion fails.
+struct InclusionResult {
+  bool included;
+  std::optional<NestedWord> counterexample;
+};
+InclusionResult CheckInclusion(const Nnwa& a, const Nnwa& b);
+
+/// L(a) = L(b)? Both inclusions; returns a separating word on failure.
+struct EquivalenceResult {
+  bool equivalent;
+  std::optional<NestedWord> separator;
+};
+EquivalenceResult CheckEquivalence(const Nnwa& a, const Nnwa& b);
+
+}  // namespace nw
+
+#endif  // NW_NWA_DECISION_H_

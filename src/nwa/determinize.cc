@@ -1,0 +1,216 @@
+#include "nwa/determinize.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "support/check.h"
+
+namespace nw {
+namespace {
+
+uint64_t Pack(StateId anchor, StateId cur) {
+  return (static_cast<uint64_t>(anchor) << 32) | cur;
+}
+StateId Anchor(uint64_t p) { return static_cast<StateId>(p >> 32); }
+StateId Cur(uint64_t p) { return static_cast<StateId>(p & 0xffffffffu); }
+
+void SortUnique(std::vector<uint64_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+using PairSet = std::vector<uint64_t>;
+
+struct Builder {
+  const Nnwa& a;
+  Nwa out;
+  StateId p0_marker;
+
+  // Interning tables. Linear states are keyed by their pair set; hier
+  // states by (pair set, call symbol).
+  std::map<PairSet, StateId> linear_ids;
+  std::map<std::pair<PairSet, Symbol>, StateId> hier_ids;
+  std::vector<const PairSet*> linear_sets;  // by dense linear index
+  std::vector<StateId> linear_state_of;     // dense linear index -> state id
+  std::vector<std::pair<const PairSet*, Symbol>> hier_sets;
+  std::vector<StateId> hier_state_of;
+
+  // (linear dense index, hier dense index or kMarker) pairs still to get
+  // their return transitions.
+  static constexpr uint32_t kMarker = UINT32_MAX;
+  std::vector<std::pair<uint32_t, uint32_t>> ret_work;
+  // Linear dense indices whose internal/call transitions are pending.
+  std::vector<uint32_t> lin_work;
+
+  explicit Builder(const Nnwa& nnwa) : a(nnwa), out(nnwa.num_symbols()) {
+    p0_marker = out.AddState(false);
+    out.set_hier_initial(p0_marker);
+  }
+
+  bool IsFinalSet(const PairSet& s) const {
+    for (uint64_t p : s) {
+      if (a.is_final(Cur(p))) return true;
+    }
+    return false;
+  }
+
+  StateId InternLinear(PairSet s) {
+    auto it = linear_ids.find(s);
+    if (it != linear_ids.end()) return it->second;
+    StateId id = out.AddState(IsFinalSet(s));
+    auto [pos, inserted] = linear_ids.emplace(std::move(s), id);
+    NW_CHECK(inserted);
+    uint32_t dense = static_cast<uint32_t>(linear_sets.size());
+    linear_sets.push_back(&pos->first);
+    linear_state_of.push_back(id);
+    lin_work.push_back(dense);
+    // Pair the new linear state with every known hierarchical source,
+    // including the pending-return marker.
+    ret_work.push_back({dense, kMarker});
+    for (uint32_t h = 0; h < hier_sets.size(); ++h) {
+      ret_work.push_back({dense, h});
+    }
+    return id;
+  }
+
+  StateId InternHier(const PairSet& s, Symbol call_sym) {
+    auto key = std::make_pair(s, call_sym);
+    auto it = hier_ids.find(key);
+    if (it != hier_ids.end()) return it->second;
+    StateId id = out.AddState(false);
+    auto [pos, inserted] = hier_ids.emplace(std::move(key), id);
+    NW_CHECK(inserted);
+    uint32_t dense = static_cast<uint32_t>(hier_sets.size());
+    hier_sets.push_back({&pos->first.first, call_sym});
+    hier_state_of.push_back(id);
+    for (uint32_t l = 0; l < linear_sets.size(); ++l) {
+      ret_work.push_back({l, dense});
+    }
+    return id;
+  }
+
+  PairSet StepInternal(const PairSet& s, Symbol sym) const {
+    PairSet next;
+    for (uint64_t p : s) {
+      for (StateId q2 : a.InternalTargets(Cur(p), sym)) {
+        next.push_back(Pack(Anchor(p), q2));
+      }
+    }
+    SortUnique(&next);
+    return next;
+  }
+
+  PairSet StepCallLinear(const PairSet& s, Symbol sym) const {
+    PairSet next;
+    for (uint64_t p : s) {
+      for (const CallEdge& e : a.CallTargets(Cur(p), sym)) {
+        next.push_back(Pack(e.linear, e.linear));
+      }
+    }
+    SortUnique(&next);
+    return next;
+  }
+
+  PairSet StepPendingReturn(const PairSet& s, Symbol sym) const {
+    PairSet next;
+    for (uint64_t p : s) {
+      for (const ReturnEdge& e : a.ReturnEdges(Cur(p), sym)) {
+        for (StateId p0 : a.hier_initial()) {
+          if (e.hier == p0) {
+            next.push_back(Pack(Anchor(p), e.target));
+            break;
+          }
+        }
+      }
+    }
+    SortUnique(&next);
+    return next;
+  }
+
+  PairSet StepMatchedReturn(const PairSet& inner, const PairSet& pre,
+                            Symbol call_sym, Symbol ret_sym) const {
+    std::unordered_map<StateId, std::vector<StateId>> by_anchor;
+    for (uint64_t p : inner) by_anchor[Anchor(p)].push_back(Cur(p));
+    PairSet next;
+    for (uint64_t p : pre) {
+      for (const CallEdge& e : a.CallTargets(Cur(p), call_sym)) {
+        auto it = by_anchor.find(e.linear);
+        if (it == by_anchor.end()) continue;
+        for (StateId q1 : it->second) {
+          for (const ReturnEdge& r : a.ReturnEdges(q1, ret_sym)) {
+            if (r.hier == e.hier) next.push_back(Pack(Anchor(p), r.target));
+          }
+        }
+      }
+    }
+    SortUnique(&next);
+    return next;
+  }
+
+  DeterminizeResult Build() {
+    PairSet init;
+    for (StateId q : a.initial()) init.push_back(Pack(q, q));
+    SortUnique(&init);
+    StateId start = InternLinear(std::move(init));
+    out.set_initial(start);
+    out.set_hier_initial(p0_marker);
+
+    while (!lin_work.empty() || !ret_work.empty()) {
+      if (!lin_work.empty()) {
+        uint32_t dense = lin_work.back();
+        lin_work.pop_back();
+        StateId from = linear_state_of[dense];
+        for (Symbol sym = 0; sym < a.num_symbols(); ++sym) {
+          // Copy: interning may invalidate the pointer vector's target —
+          // it will not (std::map nodes are stable) but the set reference
+          // may be invalidated by reallocation of linear_sets itself.
+          PairSet cur = *linear_sets[dense];
+          PairSet in = StepInternal(cur, sym);
+          if (!in.empty()) {
+            out.SetInternal(from, sym, InternLinear(std::move(in)));
+          }
+          PairSet cl = StepCallLinear(cur, sym);
+          if (!cl.empty()) {
+            StateId hier = InternHier(cur, sym);
+            out.SetCall(from, sym, InternLinear(std::move(cl)), hier);
+          }
+        }
+        continue;
+      }
+      auto [ldense, hdense] = ret_work.back();
+      ret_work.pop_back();
+      StateId from = linear_state_of[ldense];
+      for (Symbol sym = 0; sym < a.num_symbols(); ++sym) {
+        PairSet inner = *linear_sets[ldense];
+        PairSet next;
+        StateId hier_state;
+        if (hdense == kMarker) {
+          next = StepPendingReturn(inner, sym);
+          hier_state = p0_marker;
+        } else {
+          next = StepMatchedReturn(inner, *hier_sets[hdense].first,
+                                   hier_sets[hdense].second, sym);
+          hier_state = hier_state_of[hdense];
+        }
+        if (!next.empty()) {
+          out.SetReturn(from, hier_state, sym, InternLinear(std::move(next)));
+        }
+      }
+    }
+
+    DeterminizeResult res{std::move(out), linear_sets.size(),
+                          hier_sets.size()};
+    return res;
+  }
+};
+
+}  // namespace
+
+DeterminizeResult Determinize(const Nnwa& a) {
+  Builder b(a);
+  return b.Build();
+}
+
+}  // namespace nw

@@ -1,0 +1,352 @@
+#include "nwa/families.h"
+
+#include <array>
+
+#include "support/check.h"
+
+namespace nw {
+
+namespace {
+constexpr Symbol kA = 0;
+constexpr Symbol kB = 1;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Theorem 3: Ls = { path(w) | w ∈ {a,b}^s }.
+// ---------------------------------------------------------------------------
+
+Nwa Thm3PathNwa(int s) {
+  NW_CHECK(s >= 1);
+  Nwa a(2);
+  // Descent states D_0..D_s, ascent states U_{s-1}..U_0. The hierarchical
+  // edge of the call taken from D_i carries D_i for symbol a and U_i for
+  // symbol b; the matching return checks the pair (level, symbol).
+  std::vector<StateId> d(s + 1), u(s);
+  for (int i = 0; i <= s; ++i) d[i] = a.AddState(false);
+  for (int i = 0; i < s; ++i) u[i] = a.AddState(false);
+  a.set_initial(d[0]);
+  a.set_final(u[0]);
+
+  for (int i = 0; i < s; ++i) {
+    a.SetCall(d[i], kA, d[i + 1], d[i]);
+    a.SetCall(d[i], kB, d[i + 1], u[i]);
+  }
+  // First return fires from D_s; subsequent returns from U_{i+1}.
+  a.SetReturn(d[s], d[s - 1], kA, u[s - 1]);
+  a.SetReturn(d[s], u[s - 1], kB, u[s - 1]);
+  for (int i = s - 2; i >= 0; --i) {
+    a.SetReturn(u[i + 1], d[i], kA, u[i]);
+    a.SetReturn(u[i + 1], u[i], kB, u[i]);
+  }
+  return a;
+}
+
+bool Thm3Member(const NestedWord& n, int s) {
+  if (n.size() != 2 * static_cast<size_t>(s)) return false;
+  for (int i = 0; i < s; ++i) {
+    if (n.kind(i) != Kind::kCall) return false;
+    if (n.kind(2 * s - 1 - i) != Kind::kReturn) return false;
+    if (n.symbol(i) != n.symbol(2 * s - 1 - i)) return false;
+    if (n.symbol(i) > 1) return false;
+  }
+  return true;
+}
+
+Dfa Thm3TrieDfa(int s) {
+  NW_CHECK(s >= 1 && s <= 20);
+  const size_t sigma = 2;
+  Dfa d(TaggedAlphabetSize(sigma));
+  StateId root = d.AddState(false);
+  d.set_initial(root);
+  // Insert the tagged encoding of path(w) for every w ∈ {a,b}^s.
+  const uint64_t count = 1ull << s;
+  for (uint64_t bits = 0; bits < count; ++bits) {
+    NestedWord n = NestedWord::Path([&] {
+      std::vector<Symbol> w(s);
+      for (int i = 0; i < s; ++i) w[i] = (bits >> i) & 1;
+      return w;
+    }());
+    StateId cur = root;
+    for (const TaggedSymbol& t : n.tagged()) {
+      Symbol letter = TaggedIndex(t, sigma);
+      StateId next = d.Next(cur, letter);
+      if (next == kNoState) {
+        next = d.AddState(false);
+        d.SetTransition(cur, letter, next);
+      }
+      cur = next;
+    }
+    d.set_final(cur);
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5: <a (<b b>)^m <a B1..Bs a> a>, block #(m mod s) forced to <a>.
+// ---------------------------------------------------------------------------
+
+Nwa Thm5FlatNwa(int s) {
+  NW_CHECK(s >= 1);
+  Nwa a(2);
+  StateId start = a.AddState(false);
+  a.set_initial(start);
+  StateId q0 = start;  // flat: every call propagates q0
+
+  // Counting states M_k (#<b> blocks mod s) and their insides.
+  std::vector<StateId> m(s), mb(s);
+  for (int k = 0; k < s; ++k) m[k] = a.AddState(false);
+  for (int k = 0; k < s; ++k) mb[k] = a.AddState(false);
+  // Block states blk[i][j]: forced index i, current block j; and insides.
+  std::vector<std::vector<StateId>> blk(s, std::vector<StateId>(s + 1));
+  std::vector<std::vector<StateId>> blk_in_a(s, std::vector<StateId>(s));
+  std::vector<std::vector<StateId>> blk_in_b(s, std::vector<StateId>(s));
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j <= s; ++j) blk[i][j] = a.AddState(false);
+    for (int j = 0; j < s; ++j) blk_in_a[i][j] = a.AddState(false);
+    for (int j = 0; j < s; ++j) blk_in_b[i][j] = a.AddState(false);
+  }
+  StateId close1 = a.AddState(false);
+  StateId acc = a.AddState(true);
+
+  a.SetCall(start, kA, m[0], q0);
+  for (int k = 0; k < s; ++k) {
+    a.SetCall(m[k], kB, mb[k], q0);
+    a.SetReturn(mb[k], q0, kB, m[(k + 1) % s]);
+    a.SetCall(m[k], kA, blk[k][0], q0);
+  }
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j < s; ++j) {
+      // Block j (0-based); the forced <a> block is j == i.
+      a.SetCall(blk[i][j], kA, blk_in_a[i][j], q0);
+      a.SetReturn(blk_in_a[i][j], q0, kA, blk[i][j + 1]);
+      if (j != i) {
+        a.SetCall(blk[i][j], kB, blk_in_b[i][j], q0);
+        a.SetReturn(blk_in_b[i][j], q0, kB, blk[i][j + 1]);
+      }
+    }
+    a.SetReturn(blk[i][s], q0, kA, close1);
+  }
+  a.SetReturn(close1, q0, kA, acc);
+  return a;
+}
+
+bool Thm5Member(const NestedWord& n, int s) {
+  size_t pos = 0;
+  auto at = [&](Kind k, Symbol sym) {
+    if (pos >= n.size() || n.kind(pos) != k || n.symbol(pos) != sym)
+      return false;
+    ++pos;
+    return true;
+  };
+  if (!at(Kind::kCall, kA)) return false;
+  int m = 0;
+  while (pos + 1 < n.size() && n.kind(pos) == Kind::kCall &&
+         n.symbol(pos) == kB) {
+    if (!at(Kind::kCall, kB) || !at(Kind::kReturn, kB)) return false;
+    ++m;
+  }
+  if (!at(Kind::kCall, kA)) return false;
+  int forced = m % s;  // 0-based forced block index
+  for (int j = 0; j < s; ++j) {
+    if (pos >= n.size() || n.kind(pos) != Kind::kCall) return false;
+    Symbol c = n.symbol(pos);
+    if (j == forced && c != kA) return false;
+    if (c != kA && c != kB) return false;
+    ++pos;
+    if (!at(Kind::kReturn, c)) return false;
+  }
+  if (!at(Kind::kReturn, kA)) return false;
+  if (!at(Kind::kReturn, kA)) return false;
+  return pos == n.size();
+}
+
+std::vector<NestedWord> Thm5Words(int s, int m) {
+  std::vector<NestedWord> out;
+  const int forced = m % s;
+  const uint64_t free_blocks = s - 1;
+  for (uint64_t bits = 0; bits < (1ull << free_blocks); ++bits) {
+    NestedWord n;
+    n.Push(Call(kA));
+    for (int k = 0; k < m; ++k) {
+      n.Push(Call(kB));
+      n.Push(Return(kB));
+    }
+    n.Push(Call(kA));
+    uint64_t b = bits;
+    for (int j = 0; j < s; ++j) {
+      Symbol c;
+      if (j == forced) {
+        c = kA;
+      } else {
+        c = (b & 1) ? kB : kA;
+        b >>= 1;
+      }
+      n.Push(Call(c));
+      n.Push(Return(c));
+    }
+    n.Push(Return(kA));
+    n.Push(Return(kA));
+    out.push_back(std::move(n));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6: (<a)^k <b <c c> b> <c c> (a>)^k with equal c's.
+// ---------------------------------------------------------------------------
+
+Nwa Thm6Nwa() {
+  Nwa a(2);
+  // NWA acceptance cannot observe the stack, so "all prefix calls are
+  // closed" must flow through hierarchical markers: the *first* <a pushes
+  // h_first, later ones push h_pref, and only popping h_first accepts.
+  // The core is duplicated for k = 0 (no prefix, accept right away) and
+  // k ≥ 1 (accept only after the suffix drains to h_first).
+  StateId p0 = a.AddState(false);   // nothing read yet
+  StateId p1 = a.AddState(false);   // inside the (<a)^k prefix
+  StateId h_first = a.AddState(false);
+  StateId h_pref = a.AddState(false);
+  StateId h_b = a.AddState(false);
+  StateId h_c1 = a.AddState(false);
+  StateId h_c2 = a.AddState(false);
+  StateId acc_suffix = a.AddState(true);  // after popping h_first
+  a.set_initial(p0);
+
+  a.SetCall(p0, kA, p1, h_first);
+  a.SetCall(p1, kA, p1, h_pref);
+
+  // Core builder for one variant; returns the state reached after the core.
+  auto build_core = [&](StateId entry, bool final_exit) {
+    StateId q1 = a.AddState(false);
+    StateId q6 = a.AddState(final_exit);
+    a.SetCall(entry, kB, q1, h_b);
+    for (Symbol c : {kA, kB}) {
+      StateId q2 = a.AddState(false);
+      StateId q3 = a.AddState(false);
+      StateId q4 = a.AddState(false);
+      StateId q5 = a.AddState(false);
+      a.SetCall(q1, c, q2, h_c1);
+      a.SetReturn(q2, h_c1, c, q3);
+      a.SetReturn(q3, h_b, kB, q4);
+      a.SetCall(q4, c, q5, h_c2);
+      a.SetReturn(q5, h_c2, c, q6);
+    }
+    return q6;
+  };
+
+  build_core(p0, /*final_exit=*/true);           // k = 0
+  StateId q6 = build_core(p1, /*final_exit=*/false);  // k ≥ 1
+  a.SetReturn(q6, h_pref, kA, q6);
+  a.SetReturn(q6, h_first, kA, acc_suffix);
+  return a;
+}
+
+bool Thm6Member(const NestedWord& n) {
+  // The core starts with <b, so every leading <a belongs to the prefix.
+  size_t k = 0;
+  while (k < n.size() && n.kind(k) == Kind::kCall && n.symbol(k) == kA) ++k;
+  size_t pos = k;
+  auto at = [&](Kind kk, Symbol sym) {
+    if (pos >= n.size() || n.kind(pos) != kk || n.symbol(pos) != sym)
+      return false;
+    ++pos;
+    return true;
+  };
+  if (!at(Kind::kCall, kB)) return false;
+  if (pos >= n.size() || n.kind(pos) != Kind::kCall) return false;
+  Symbol c = n.symbol(pos);
+  ++pos;
+  if (!at(Kind::kReturn, c)) return false;
+  if (!at(Kind::kReturn, kB)) return false;
+  if (!at(Kind::kCall, c)) return false;
+  if (!at(Kind::kReturn, c)) return false;
+  for (size_t i = 0; i < k; ++i) {
+    if (!at(Kind::kReturn, kA)) return false;
+  }
+  return pos == n.size();
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 8: path(Σ^s a Σ* a Σ^s).
+// ---------------------------------------------------------------------------
+
+Nwa Thm8PathNwa(int s) {
+  NW_CHECK(s >= 1);
+  Nwa a(2);
+  std::vector<StateId> d(s + 1);
+  for (int i = 0; i <= s; ++i) d[i] = a.AddState(false);
+  StateId mid = a.AddState(false);
+  std::vector<StateId> u(s + 1);  // u[1..s]: ascent return counter
+  for (int j = 1; j <= s; ++j) u[j] = a.AddState(false);
+  StateId post = a.AddState(false);
+  StateId acc = a.AddState(true);
+  // Hierarchical carriers: hd[i][c] for descent level i < s, hd_s_a for the
+  // checked call at level s, hm[c] for middle calls.
+  std::vector<std::array<StateId, 2>> hd(s);
+  for (int i = 0; i < s; ++i) hd[i] = {a.AddState(false), a.AddState(false)};
+  StateId hd_s_a = a.AddState(false);
+  StateId hm[2] = {a.AddState(false), a.AddState(false)};
+  a.set_initial(d[0]);
+
+  for (int i = 0; i < s; ++i) {
+    a.SetCall(d[i], kA, d[i + 1], hd[i][kA]);
+    a.SetCall(d[i], kB, d[i + 1], hd[i][kB]);
+  }
+  a.SetCall(d[s], kA, mid, hd_s_a);  // (s+1)-th symbol of w must be a
+  a.SetCall(mid, kA, mid, hm[kA]);
+  a.SetCall(mid, kB, mid, hm[kB]);
+
+  // Ascent: returns #1..#s must pop middle tags (enforces |w| ≥ 2s+2).
+  for (Symbol c : {kA, kB}) a.SetReturn(mid, hm[c], c, u[1]);
+  for (int j = 1; j < s; ++j) {
+    for (Symbol c : {kA, kB}) a.SetReturn(u[j], hm[c], c, u[j + 1]);
+  }
+  // Return #(s+1): the (s+1)-th symbol of w from the end must be `a` and
+  // still in the middle zone.
+  a.SetReturn(u[s], hm[kA], kA, post);
+  // Remainder: symbol-match each return against its call's tag.
+  for (Symbol c : {kA, kB}) a.SetReturn(post, hm[c], c, post);
+  a.SetReturn(post, hd_s_a, kA, post);
+  for (int i = 1; i < s; ++i) {
+    for (Symbol c : {kA, kB}) a.SetReturn(post, hd[i][c], c, post);
+  }
+  for (Symbol c : {kA, kB}) a.SetReturn(post, hd[0][c], c, acc);
+  return a;
+}
+
+bool Thm8Member(const NestedWord& n, int s) {
+  if (n.size() % 2 != 0) return false;
+  size_t half = n.size() / 2;
+  if (half < 2 * static_cast<size_t>(s) + 2) return false;
+  for (size_t i = 0; i < half; ++i) {
+    if (n.kind(i) != Kind::kCall) return false;
+    if (n.kind(n.size() - 1 - i) != Kind::kReturn) return false;
+    if (n.symbol(i) != n.symbol(n.size() - 1 - i)) return false;
+  }
+  return n.symbol(s) == kA && n.symbol(half - s - 1) == kA;
+}
+
+Nfa Thm8WordNfa(int s) {
+  Nfa n(2);
+  std::vector<StateId> pre(s + 1);
+  for (int i = 0; i <= s; ++i) pre[i] = n.AddState(false);
+  StateId mid = n.AddState(false);
+  std::vector<StateId> suf(s + 1);
+  for (int i = 0; i <= s; ++i) suf[i] = n.AddState(i == s);
+  n.AddInitial(pre[0]);
+  for (int i = 0; i < s; ++i) {
+    n.AddTransition(pre[i], kA, pre[i + 1]);
+    n.AddTransition(pre[i], kB, pre[i + 1]);
+  }
+  n.AddTransition(pre[s], kA, mid);
+  n.AddTransition(mid, kA, mid);
+  n.AddTransition(mid, kB, mid);
+  n.AddTransition(mid, kA, suf[0]);
+  for (int i = 0; i < s; ++i) {
+    n.AddTransition(suf[i], kA, suf[i + 1]);
+    n.AddTransition(suf[i], kB, suf[i + 1]);
+  }
+  return n;
+}
+
+}  // namespace nw

@@ -1,0 +1,70 @@
+// The paper's witness language families, as constructive automata builders.
+// Each Theorem's succinctness/expressiveness experiment (DESIGN.md §5)
+// builds one side from here and derives the other side mechanically
+// (minimization, subset construction, bottom-up transformation).
+#ifndef NW_NWA_FAMILIES_H_
+#define NW_NWA_FAMILIES_H_
+
+#include <vector>
+
+#include "nwa/nwa.h"
+#include "wordauto/dfa.h"
+#include "wordauto/nfa.h"
+
+namespace nw {
+
+/// Theorem 3 family: Ls = { path(w) | w ∈ {a,b}^s }.
+///
+/// Returns a deterministic NWA with O(s) states (2s+1 plus hierarchical
+/// carriers; the paper's proof notes s+2 suffice with state sharing — the
+/// experiment's claim, linear vs 2^s, is unaffected). At each call the
+/// current symbol is passed along the hierarchical edge and checked at the
+/// matching return.
+Nwa Thm3PathNwa(int s);
+
+/// Direct membership oracle for Thm 3's Ls (for differential tests).
+bool Thm3Member(const NestedWord& n, int s);
+
+/// Trie DFA over the tagged alphabet Σ̂ accepting nw_w(Ls) — the word-
+/// automaton side of Theorem 3. Minimize() it to measure the 2^s bound.
+Dfa Thm3TrieDfa(int s);
+
+/// Theorem 5 family: tree words <a (<b>)^m <a B1...Bs a> a> with each
+/// Bj ∈ {<a>, <b>} and block #(m mod s) forced to be <a>  (1-based; the
+/// paper's i = m mod s with i ∈ {1..s}, realized as i = (m mod s) + 1).
+///
+/// Returns a deterministic *flat* NWA with O(s²) states.
+Nwa Thm5FlatNwa(int s);
+
+/// Direct membership oracle for Thm 5's language.
+bool Thm5Member(const NestedWord& n, int s);
+
+/// Enumerates the 2^s words of Thm 5's language with m = i (one block
+/// pattern per choice vector), used by the bottom-up lower-bound check.
+std::vector<NestedWord> Thm5Words(int s, int m);
+
+/// Theorem 6 witness: the language of tree words
+///   (<a)^k <b <c c> b> <c c> (a>)^k     for k ≥ 0, c ∈ {a,b},
+/// where both <c> blocks carry the same symbol. Accepted by an NWA
+/// (returned here); deterministic joinless automata provably cannot.
+Nwa Thm6Nwa();
+
+/// Direct membership oracle for Thm 6's language.
+bool Thm6Member(const NestedWord& n);
+
+/// Theorem 8 family: path(Ls) for Ls = Σ^s a Σ* a Σ^s over Σ = {a,b}.
+/// Returns a deterministic NWA with O(s) states; deterministic top-down
+/// and bottom-up automata need 2^s (measured via Lemma 3: the minimal DFA
+/// of Ls, which equals its own reverse).
+Nwa Thm8PathNwa(int s);
+
+/// Direct membership oracle: n = path(w) with w ∈ Σ^s a Σ* a Σ^s.
+bool Thm8Member(const NestedWord& n, int s);
+
+/// NFA for the *word* language Ls = Σ^s a Σ* a Σ^s over {a,b} (2s+3
+/// states); its determinization measures Lemma 3 / Theorem 8's 2^s bound.
+Nfa Thm8WordNfa(int s);
+
+}  // namespace nw
+
+#endif  // NW_NWA_FAMILIES_H_

@@ -1,0 +1,200 @@
+#include "nwa/joinless.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "support/check.h"
+
+namespace nw {
+
+StateId JoinlessNwa::AddState(bool hierarchical, bool is_final) {
+  StateId id = static_cast<StateId>(final_.size());
+  final_.push_back(is_final);
+  hier_.push_back(hierarchical);
+  discharge_.push_back(false);
+  return id;
+}
+
+void JoinlessNwa::set_discharge(StateId q, bool d) {
+  NW_CHECK_MSG(hier_[q], "only hierarchical states discharge (§3.5)");
+  if (!custom_discharge_) {
+    // Materialize the default (Qh ∩ F) before the first customization.
+    for (StateId i = 0; i < num_states(); ++i) {
+      discharge_[i] = hier_[i] && final_[i];
+    }
+    custom_discharge_ = true;
+  }
+  discharge_[q] = d;
+}
+
+void JoinlessNwa::AddInternal(StateId q, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states() && q2 < num_states() && a < num_symbols_);
+  NW_CHECK_MSG(!hier_[q] || hier_[q2],
+               "hierarchical-mode internal must stay in Qh (§3.5)");
+  internal_.push_back({q, a, q2});
+}
+
+void JoinlessNwa::AddCall(StateId q, Symbol a, StateId linear, StateId hier) {
+  NW_DCHECK(q < num_states() && linear < num_states() &&
+            hier < num_states() && a < num_symbols_);
+  NW_CHECK_MSG(!hier_[q] || (hier_[linear] && hier_[hier]),
+               "hierarchical-mode call must fork into Qh × Qh (§3.5)");
+  call_.push_back({q, a, linear, hier});
+}
+
+void JoinlessNwa::AddReturn(StateId q, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states() && q2 < num_states() && a < num_symbols_);
+  NW_CHECK_MSG(!hier_[q] || hier_[q2],
+               "a hierarchical return source must map into Qh (§3.5)");
+  return_.push_back({q, a, q2});
+}
+
+bool JoinlessNwa::IsTopDown() const {
+  for (bool h : hier_) {
+    if (!h) return false;
+  }
+  return true;
+}
+
+bool JoinlessNwa::IsDeterministic() const {
+  if (initial_.size() > 1) return false;
+  std::set<std::pair<StateId, Symbol>> seen;
+  for (const auto& t : internal_) {
+    if (!seen.insert({t.q, t.a}).second) return false;
+  }
+  seen.clear();
+  for (const auto& t : call_) {
+    if (!seen.insert({t.q, t.a}).second) return false;
+  }
+  seen.clear();
+  for (const auto& t : return_) {
+    if (!seen.insert({t.q, t.a}).second) return false;
+  }
+  return true;
+}
+
+Nnwa JoinlessNwa::ToNnwa() const {
+  Nnwa out(num_symbols_);
+  for (StateId q = 0; q < num_states(); ++q) out.AddState(final_[q]);
+  StateId bottom = out.AddState(false);  // pending-return marker
+  for (StateId q : initial_) out.AddInitial(q);
+  out.AddHierInitial(bottom);
+
+  for (const auto& t : internal_) out.AddInternal(t.q, t.a, t.q2);
+  for (const auto& t : call_) out.AddCall(t.q, t.a, t.linear, t.hier);
+
+  // Rule (a): previous state linear, hierarchical edge carries an initial
+  // state — pending edges (bottom marker) or a pushed member of Q0.
+  std::set<StateId> anchors(initial_.begin(), initial_.end());
+  anchors.insert(bottom);
+  for (const auto& t : return_) {
+    if (hier_[t.q]) continue;
+    for (StateId h : anchors) out.AddReturn(t.q, h, t.a, t.q2);
+  }
+  // Rule (b): previous state discharging; step on the edge state t.q
+  // (either mode). The transition exists for every discharging `prev`.
+  for (const auto& t : return_) {
+    for (StateId prev = 0; prev < num_states(); ++prev) {
+      if (is_discharge(prev)) out.AddReturn(prev, t.q, t.a, t.q2);
+    }
+  }
+  return out;
+}
+
+JoinlessNwa JoinlessNwa::FromNnwa(const Nnwa& a) {
+  const size_t s = a.num_states();
+  const size_t k = a.num_symbols();
+  JoinlessNwa out(k);
+
+  // Linear copies L(q): thread the top-level spine (internals, pending
+  // returns, pending calls, and the borders of matched pairs).
+  std::vector<StateId> lin(s);
+  for (StateId q = 0; q < s; ++q) {
+    lin[q] = out.AddState(/*hierarchical=*/false, a.is_final(q));
+  }
+  // Inside obligation pairs P(q, o): hierarchical, discharging iff q == o,
+  // never word-end accepting (this is the discharge/final separation).
+  std::vector<StateId> pin(s * s);
+  for (StateId q = 0; q < s; ++q) {
+    for (StateId o = 0; o < s; ++o) {
+      pin[q * s + o] = out.AddState(/*hierarchical=*/true, false);
+      if (q == o) out.set_discharge(pin[q * s + o]);
+    }
+  }
+  // Junk marker pushed at pending-call guesses: enables no return rule, so
+  // the guess is self-enforcing.
+  StateId junk = out.AddState(/*hierarchical=*/true, false);
+  // Continuation carriers parked on hierarchical edges of matched calls:
+  // linear Y(q2, b) resumes the spine, hierarchical Yh(q2, o, b) resumes an
+  // enclosing inside with obligation o. Interned on demand.
+  std::map<std::pair<StateId, Symbol>, StateId> y_ids;
+  std::map<std::tuple<StateId, StateId, Symbol>, StateId> yh_ids;
+  auto y_lin = [&](StateId q2, Symbol b) {
+    auto key = std::make_pair(q2, b);
+    auto it = y_ids.find(key);
+    if (it != y_ids.end()) return it->second;
+    StateId id = out.AddState(/*hierarchical=*/false, false);
+    out.AddReturn(id, b, lin[q2]);  // rule (b) steps on this edge state
+    y_ids.emplace(key, id);
+    return id;
+  };
+  auto y_hier = [&](StateId q2, StateId o, Symbol b) {
+    auto key = std::make_tuple(q2, o, b);
+    auto it = yh_ids.find(key);
+    if (it != yh_ids.end()) return it->second;
+    StateId id = out.AddState(/*hierarchical=*/true, false);
+    out.AddReturn(id, b, pin[q2 * s + o]);
+    yh_ids.emplace(key, id);
+    return id;
+  };
+
+  for (StateId q0 : a.initial()) out.AddInitial(lin[q0]);
+
+  for (StateId q = 0; q < s; ++q) {
+    for (Symbol c = 0; c < k; ++c) {
+      for (StateId q2 : a.InternalTargets(q, c)) {
+        out.AddInternal(lin[q], c, lin[q2]);
+        for (StateId o = 0; o < s; ++o) {
+          out.AddInternal(pin[q * s + o], c, pin[q2 * s + o]);
+        }
+      }
+      // Pending returns: only on the linear spine (a pending return can
+      // never sit inside a matched pair — the edges would cross).
+      for (const ReturnEdge& e : a.ReturnEdges(q, c)) {
+        for (StateId p0 : a.hier_initial()) {
+          if (e.hier == p0) {
+            out.AddReturn(lin[q], c, lin[e.target]);
+            break;
+          }
+        }
+      }
+      for (const CallEdge& ce : a.CallTargets(q, c)) {
+        // Pending-call guess: stay on the linear spine, push junk.
+        out.AddCall(lin[q], c, lin[ce.linear], junk);
+        // A pending call inside a matched pair is impossible, so inside
+        // states need no pending-call transitions.
+        // Matched-call guess: pair the call edge with every A-return
+        // (q1, qh, b, q2) sharing its hierarchical state qh. The inside
+        // must run from ce.linear to q1; the continuation is parked on the
+        // hierarchical edge and resumed by rule (b) at the return.
+        for (StateId q1 = 0; q1 < s; ++q1) {
+          for (Symbol b = 0; b < k; ++b) {
+            for (const ReturnEdge& re : a.ReturnEdges(q1, b)) {
+              if (re.hier != ce.hier) continue;
+              StateId inside = pin[ce.linear * s + q1];
+              out.AddCall(lin[q], c, inside, y_lin(re.target, b));
+              for (StateId o = 0; o < s; ++o) {
+                out.AddCall(pin[q * s + o], c, inside,
+                            y_hier(re.target, o, b));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nw

@@ -1,0 +1,118 @@
+// Joinless nested word automata (paper §3.5).
+//
+// A joinless automaton never joins linear and hierarchical information at
+// a return. States are partitioned into linear (Ql) and hierarchical (Qh)
+// modes. At a return position i with hierarchical edge state h:
+//   (a) if the previous state q is linear: requires h to be an initial
+//       state (true for pending edges and for calls that pushed one) and
+//       steps on q:   q_i = δr(q, a);
+//   (b) if the previous state q is hierarchical: requires q to be a
+//       *discharging* state (the "inside run accepted" condition) and
+//       steps on the edge state:   q_i = δr(h, a).
+// Note h may be of either mode: a linear call can fork a hierarchical
+// inside while parking its linear continuation on the hierarchical edge —
+// this is what lets a run return to linear mode after a matched pair.
+//
+// Deviations from the paper, documented in DESIGN.md §3:
+//  * pending-return edges carry a dedicated bottom marker rather than
+//    "the run's q0" (the standard decoupling, cf. the P0 sets of Nnwa);
+//  * the discharge set D defaults to Qh ∩ F (the paper's rule) but can be
+//    set independently: with D ≡ Qh ∩ F the literal Theorem-7 construction
+//    over-accepts words that end inside a speculated matched pair, because
+//    inside-obligation states must then be word-end accepting too. The
+//    separation restores L(B) = L(A) exactly (see joinless_test.cc for the
+//    failing witness under the conflated reading).
+//
+// Flat automata are joinless with Ql = Q; top-down automata are joinless
+// with Ql = ∅ (Lemma 2). Deterministic joinless automata are strictly
+// weaker than NWAs (Theorem 6); nondeterministic ones are complete
+// (Theorem 7, FromNnwa below, O(s²·|Σ|) states).
+#ifndef NW_NWA_JOINLESS_H_
+#define NW_NWA_JOINLESS_H_
+
+#include <vector>
+
+#include "nwa/nnwa.h"
+
+namespace nw {
+
+/// Nondeterministic joinless nested word automaton.
+class JoinlessNwa {
+ public:
+  explicit JoinlessNwa(size_t num_symbols) : num_symbols_(num_symbols) {}
+
+  /// Adds a state in the given mode.
+  StateId AddState(bool hierarchical, bool is_final = false);
+
+  void AddInitial(StateId q) { initial_.push_back(q); }
+  void set_final(StateId q, bool f = true) { final_[q] = f; }
+
+  /// Marks q (hierarchical) as discharging: rule (b) fires when the state
+  /// before the return is discharging. Until the first call, the discharge
+  /// set defaults to Qh ∩ F — the paper's formulation.
+  void set_discharge(StateId q, bool d = true);
+
+  bool is_hier(StateId q) const { return hier_[q]; }
+  bool is_final(StateId q) const { return final_[q]; }
+  bool is_discharge(StateId q) const {
+    return custom_discharge_ ? discharge_[q] : (hier_[q] && final_[q]);
+  }
+  size_t num_states() const { return final_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+  const std::vector<StateId>& initial() const { return initial_; }
+
+  /// δi: (q, a, q2). A hierarchical source must stay in Qh.
+  void AddInternal(StateId q, Symbol a, StateId q2);
+  /// δc: (q, a, linear, hier). A hierarchical source forks into Qh × Qh;
+  /// a linear source may fork arbitrarily (in particular: hierarchical
+  /// inside + linear continuation parked on the hierarchical edge).
+  void AddCall(StateId q, Symbol a, StateId linear, StateId hier);
+  /// δr: (q, a, q2) — used as rule (a) when q is linear (keyed on the
+  /// previous state) and as rule (b) when popped (keyed on the edge state,
+  /// which may be of either mode). A hierarchical q must map into Qh.
+  void AddReturn(StateId q, Symbol a, StateId q2);
+
+  /// True iff all states are hierarchical (a top-down automaton).
+  bool IsTopDown() const;
+  /// True iff at most one initial state and one choice per situation.
+  bool IsDeterministic() const;
+
+  /// Embeds into the general nondeterministic NWA model (adds a fresh
+  /// bottom marker as the only hierarchical initial). Used for running,
+  /// language ops, and the differential tests of Theorem 7.
+  Nnwa ToNnwa() const;
+
+  /// Membership via the embedding.
+  bool Accepts(const NestedWord& n) const { return ToNnwa().Accepts(n); }
+
+  /// Theorem 7: an equivalent nondeterministic joinless automaton with
+  /// O(s²·|Σ|) states for any nondeterministic NWA.
+  static JoinlessNwa FromNnwa(const Nnwa& a);
+
+ private:
+  struct Edge3 {
+    StateId q;
+    Symbol a;
+    StateId q2;
+  };
+  struct Call4 {
+    StateId q;
+    Symbol a;
+    StateId linear;
+    StateId hier;
+  };
+
+  size_t num_symbols_;
+  std::vector<StateId> initial_;
+  std::vector<bool> final_;
+  std::vector<bool> hier_;
+  std::vector<bool> discharge_;
+  bool custom_discharge_ = false;
+  std::vector<Edge3> internal_;
+  std::vector<Call4> call_;
+  std::vector<Edge3> return_;
+};
+
+}  // namespace nw
+
+#endif  // NW_NWA_JOINLESS_H_

@@ -1,0 +1,47 @@
+// Closure constructions for regular languages of nested words (§3.2):
+// boolean operations, concatenation, Kleene-*, and reversal. Prefix/suffix
+// closure and insertion live in closure_ext.h.
+//
+// Concatenation and star are the constructions where nested words differ
+// most from plain words: a pending call of one factor may be matched by a
+// pending return of a later factor, so the automaton must recognize, at a
+// pop, whether the popped frame belongs to the current factor. Tagged
+// hierarchical states (concat) and the floor bit (star) achieve this; see
+// DESIGN.md §3.
+#ifndef NW_NWA_LANGUAGE_OPS_H_
+#define NW_NWA_LANGUAGE_OPS_H_
+
+#include "nwa/nnwa.h"
+#include "nwa/nwa.h"
+
+namespace nw {
+
+/// L(a) ∪ L(b): disjoint sum.
+Nnwa Union(const Nnwa& a, const Nnwa& b);
+
+/// L(a) ∩ L(b): synchronous product (hierarchical edges carry pairs).
+Nnwa Intersect(const Nnwa& a, const Nnwa& b);
+
+/// NW(Σ) \ L(a): determinize, totalize, flip finals. Deterministic result.
+Nwa Complement(const Nnwa& a);
+
+/// Complement lifted back to the nondeterministic representation, for
+/// feeding into further constructions.
+Nnwa ComplementN(const Nnwa& a);
+
+/// L(a) · L(b): concatenation. Hierarchical frames pushed in the a-phase
+/// read as pending (P0 of b) when popped in the b-phase.
+Nnwa Concat(const Nnwa& a, const Nnwa& b);
+
+/// L(a)*: Kleene star (includes ε). Hierarchical frames carry the floor
+/// bit: "was the stack at the current factor's floor before this push" —
+/// a pop at the floor belongs to an earlier factor and reads as pending.
+Nnwa Star(const Nnwa& a);
+
+/// { reverse(n) : n ∈ L(a) } — reversal swaps the roles of call and
+/// return transitions (§2.4 reversal flips hierarchical edges).
+Nnwa ReverseLang(const Nnwa& a);
+
+}  // namespace nw
+
+#endif  // NW_NWA_LANGUAGE_OPS_H_

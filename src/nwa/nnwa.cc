@@ -1,0 +1,179 @@
+#include "nwa/nnwa.h"
+
+#include <algorithm>
+
+#include "nwa/nwa.h"
+#include "support/check.h"
+
+namespace nw {
+namespace {
+
+uint64_t Pack(StateId anchor, StateId cur) {
+  return (static_cast<uint64_t>(anchor) << 32) | cur;
+}
+StateId Anchor(uint64_t p) { return static_cast<StateId>(p >> 32); }
+StateId Cur(uint64_t p) { return static_cast<StateId>(p & 0xffffffffu); }
+
+void SortUnique(std::vector<uint64_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+StateId Nnwa::AddState(bool is_final) {
+  StateId id = static_cast<StateId>(final_.size());
+  final_.push_back(is_final);
+  internal_.resize(internal_.size() + num_symbols_);
+  call_.resize(call_.size() + num_symbols_);
+  return_.resize(return_.size() + num_symbols_);
+  return id;
+}
+
+void Nnwa::AddInternal(StateId q, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states() && a < num_symbols_ && q2 < num_states());
+  internal_[q * num_symbols_ + a].push_back(q2);
+  ++num_transitions_;
+}
+
+void Nnwa::AddCall(StateId q, Symbol a, StateId linear, StateId hier) {
+  NW_DCHECK(q < num_states() && a < num_symbols_);
+  NW_DCHECK(linear < num_states() && hier < num_states());
+  call_[q * num_symbols_ + a].push_back({linear, hier});
+  ++num_transitions_;
+}
+
+void Nnwa::AddReturn(StateId q, StateId hier, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states() && hier < num_states() && a < num_symbols_);
+  NW_DCHECK(q2 < num_states());
+  return_[q * num_symbols_ + a].push_back({hier, q2});
+  ++num_transitions_;
+}
+
+std::vector<StateId> Nnwa::ReturnTargets(StateId q, StateId hier,
+                                         Symbol a) const {
+  std::vector<StateId> out;
+  for (const ReturnEdge& e : ReturnEdges(q, a)) {
+    if (e.hier == hier) out.push_back(e.target);
+  }
+  return out;
+}
+
+bool Nnwa::Accepts(const NestedWord& n) const {
+  NnwaRunner r(*this);
+  return r.Run(n);
+}
+
+Nnwa Nnwa::FromNwa(const Nwa& a) {
+  Nnwa out(a.num_symbols());
+  for (StateId q = 0; q < a.num_states(); ++q) out.AddState(a.is_final(q));
+  if (a.initial() != kNoState) out.AddInitial(a.initial());
+  if (a.hier_initial() != kNoState) out.AddHierInitial(a.hier_initial());
+  for (StateId q = 0; q < a.num_states(); ++q) {
+    for (Symbol s = 0; s < a.num_symbols(); ++s) {
+      StateId t = a.NextInternal(q, s);
+      if (t != kNoState) out.AddInternal(q, s, t);
+      StateId l = a.NextCallLinear(q, s);
+      StateId h = a.NextCallHier(q, s);
+      if (l != kNoState && h != kNoState) out.AddCall(q, s, l, h);
+      // Return transitions: enumerate via every possible hier state. The
+      // deterministic class stores them sparsely, so go through the map by
+      // probing — acceptable because constructions that lift to Nnwa are
+      // small; hot paths never take this route.
+      for (StateId h2 = 0; h2 < a.num_states(); ++h2) {
+        StateId t2 = a.NextReturn(q, h2, s);
+        if (t2 != kNoState) out.AddReturn(q, h2, s, t2);
+      }
+    }
+  }
+  return out;
+}
+
+void NnwaRunner::Reset() {
+  pairs_.clear();
+  stack_.clear();
+  for (StateId q : a_.initial()) pairs_.push_back(Pack(q, q));
+  SortUnique(&pairs_);
+}
+
+bool NnwaRunner::Feed(TaggedSymbol t) {
+  if (pairs_.empty()) return false;
+  std::vector<uint64_t> next;
+  switch (t.kind) {
+    case Kind::kInternal: {
+      for (uint64_t p : pairs_) {
+        for (StateId q2 : a_.InternalTargets(Cur(p), t.symbol)) {
+          next.push_back(Pack(Anchor(p), q2));
+        }
+      }
+      break;
+    }
+    case Kind::kCall: {
+      // Push the *source* pair set; restart pairs at the linear targets.
+      for (uint64_t p : pairs_) {
+        for (const CallEdge& e : a_.CallTargets(Cur(p), t.symbol)) {
+          next.push_back(Pack(e.linear, e.linear));
+        }
+      }
+      stack_.push_back({std::move(pairs_), t.symbol});
+      break;
+    }
+    case Kind::kReturn: {
+      if (stack_.empty()) {
+        // Pending return: the hierarchical edge carries any state of P0.
+        for (uint64_t p : pairs_) {
+          for (const ReturnEdge& e : a_.ReturnEdges(Cur(p), t.symbol)) {
+            for (StateId p0 : a_.hier_initial()) {
+              if (e.hier == p0) next.push_back(Pack(Anchor(p), e.target));
+            }
+          }
+        }
+      } else {
+        // Matched return: recombine through the pushed pair set. For each
+        // pre-call pair (anchor0, q), call edge (q -a-> ql, qh) and current
+        // pair (ql, q'), a return transition (q', qh, b, q'') resumes the
+        // outer summary as (anchor0, q'').
+        Frame frame = std::move(stack_.back());
+        stack_.pop_back();
+        // Index current pairs by their anchor (= linear call target).
+        std::unordered_map<StateId, std::vector<StateId>> by_anchor;
+        for (uint64_t p : pairs_) by_anchor[Anchor(p)].push_back(Cur(p));
+        for (uint64_t pre : frame.pairs) {
+          for (const CallEdge& e :
+               a_.CallTargets(Cur(pre), frame.call_symbol)) {
+            auto it = by_anchor.find(e.linear);
+            if (it == by_anchor.end()) continue;
+            for (StateId q1 : it->second) {
+              for (const ReturnEdge& r : a_.ReturnEdges(q1, t.symbol)) {
+                if (r.hier == e.hier) {
+                  next.push_back(Pack(Anchor(pre), r.target));
+                }
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+  SortUnique(&next);
+  pairs_ = std::move(next);
+  return !pairs_.empty();
+}
+
+bool NnwaRunner::Run(const NestedWord& n) {
+  Reset();
+  for (const TaggedSymbol& t : n.tagged()) {
+    if (!Feed(t)) return false;
+  }
+  return Accepting();
+}
+
+bool NnwaRunner::Accepting() const {
+  for (uint64_t p : pairs_) {
+    if (a_.is_final(Cur(p))) return true;
+  }
+  return false;
+}
+
+}  // namespace nw

@@ -1,0 +1,131 @@
+// Nondeterministic nested word automata (paper §3.2).
+//
+// Semantics follow the journal formulation (Alur–Madhusudan, "Adding
+// nesting structure to words", JACM 2009): a set Q0 of linear initial
+// states and a set P0 of *hierarchical initial* states; the hierarchical
+// edge of a pending return may carry any state of P0. The PODS'07
+// presentation (pending returns read q0) is the special case P0 = Q0 =
+// {q0}, which is what the deterministic class uses. This decoupling is
+// what keeps the closure constructions (reverse, concatenation, star)
+// finite-state; see DESIGN.md §2.
+#ifndef NW_NWA_NNWA_H_
+#define NW_NWA_NNWA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nw/nested_word.h"
+#include "wordauto/dfa.h"
+
+namespace nw {
+
+/// Target pair of a nondeterministic call transition.
+struct CallEdge {
+  StateId linear;
+  StateId hier;
+
+  friend bool operator==(const CallEdge&, const CallEdge&) = default;
+};
+
+/// A (hier, target) pair of a return transition, grouped by (state, symbol).
+struct ReturnEdge {
+  StateId hier;
+  StateId target;
+};
+
+/// Nondeterministic nested word automaton.
+class Nnwa {
+ public:
+  explicit Nnwa(size_t num_symbols) : num_symbols_(num_symbols) {}
+
+  StateId AddState(bool is_final = false);
+
+  void AddInitial(StateId q) { initial_.push_back(q); }
+  void AddHierInitial(StateId q) { hier_initial_.push_back(q); }
+  void set_final(StateId q, bool f = true) { final_[q] = f; }
+  bool is_final(StateId q) const { return final_[q]; }
+
+  const std::vector<StateId>& initial() const { return initial_; }
+  const std::vector<StateId>& hier_initial() const { return hier_initial_; }
+
+  size_t num_states() const { return final_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// Adds (q, a, q2) to δi.
+  void AddInternal(StateId q, Symbol a, StateId q2);
+  /// Adds (q, a, linear, hier) to δc.
+  void AddCall(StateId q, Symbol a, StateId linear, StateId hier);
+  /// Adds (q, hier, a, q2) to δr.
+  void AddReturn(StateId q, StateId hier, Symbol a, StateId q2);
+
+  const std::vector<StateId>& InternalTargets(StateId q, Symbol a) const {
+    return internal_[q * num_symbols_ + a];
+  }
+  const std::vector<CallEdge>& CallTargets(StateId q, Symbol a) const {
+    return call_[q * num_symbols_ + a];
+  }
+  /// All (hier, target) pairs of δr for (q, ·, a, ·).
+  const std::vector<ReturnEdge>& ReturnEdges(StateId q, Symbol a) const {
+    return return_[q * num_symbols_ + a];
+  }
+  /// Targets of δr(q, hier, a) specifically.
+  std::vector<StateId> ReturnTargets(StateId q, StateId hier, Symbol a) const;
+
+  size_t NumTransitions() const { return num_transitions_; }
+
+  /// Membership by on-the-fly summary simulation (the §3.2 "dynamic
+  /// programming" bound: O(|A|³·ℓ) time, depth-bounded space).
+  bool Accepts(const NestedWord& n) const;
+
+  /// Lifts a deterministic NWA (shares the semantics: P0 = {hier_initial}).
+  static Nnwa FromNwa(const class Nwa& a);
+
+ private:
+  friend class NnwaRunner;
+
+  size_t num_symbols_;
+  std::vector<StateId> initial_;
+  std::vector<StateId> hier_initial_;
+  std::vector<bool> final_;
+  std::vector<std::vector<StateId>> internal_;   // [q*|Σ|+a]
+  std::vector<std::vector<CallEdge>> call_;      // [q*|Σ|+a]
+  std::vector<std::vector<ReturnEdge>> return_;  // [q*|Σ|+a]
+  size_t num_transitions_ = 0;
+};
+
+/// Streaming nondeterministic runner. The run state is a set of *summary
+/// pairs* (anchor, current): `anchor` is the state right after the
+/// innermost pending call (or a run start at top level) and `current` a
+/// state reachable now. Calls push the pair set; matched returns recombine
+/// through the pushed set. This is exactly the §3.2 determinization
+/// construction executed lazily on one word.
+class NnwaRunner {
+ public:
+  explicit NnwaRunner(const Nnwa& a) : a_(a) { Reset(); }
+
+  void Reset();
+  /// Consumes one position; returns false once the pair set is empty.
+  bool Feed(TaggedSymbol t);
+  bool Run(const NestedWord& n);
+
+  bool dead() const { return pairs_.empty(); }
+  bool Accepting() const;
+  size_t StackDepth() const { return stack_.size(); }
+  /// Current number of summary pairs (≤ |Q|²) — the DP frontier size.
+  size_t FrontierSize() const { return pairs_.size(); }
+
+ private:
+  struct Frame {
+    std::vector<uint64_t> pairs;
+    Symbol call_symbol;
+  };
+
+  const Nnwa& a_;
+  std::vector<uint64_t> pairs_;  // sorted packed (anchor<<32 | current)
+  std::vector<Frame> stack_;
+};
+
+}  // namespace nw
+
+#endif  // NW_NWA_NNWA_H_

@@ -1,0 +1,161 @@
+#include "nwa/nwa.h"
+
+#include "support/check.h"
+
+namespace nw {
+
+StateId Nwa::AddState(bool is_final) {
+  StateId id = static_cast<StateId>(final_.size());
+  NW_CHECK_MSG(id < (1u << 24), "state id space exhausted");
+  final_.push_back(is_final);
+  internal_.resize(internal_.size() + num_symbols_, kNoState);
+  call_linear_.resize(call_linear_.size() + num_symbols_, kNoState);
+  call_hier_.resize(call_hier_.size() + num_symbols_, kNoState);
+  return id;
+}
+
+void Nwa::SetInternal(StateId q, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states() && a < num_symbols_ && q2 < num_states());
+  internal_[q * num_symbols_ + a] = q2;
+}
+
+void Nwa::SetCall(StateId q, Symbol a, StateId linear, StateId hier) {
+  NW_DCHECK(q < num_states() && a < num_symbols_);
+  NW_DCHECK(linear < num_states() && hier < num_states());
+  call_linear_[q * num_symbols_ + a] = linear;
+  call_hier_[q * num_symbols_ + a] = hier;
+}
+
+void Nwa::SetReturn(StateId q, StateId hier, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states() && hier < num_states() && a < num_symbols_);
+  NW_CHECK_MSG(a < (1u << 16), "symbol id space exhausted");
+  returns_[ReturnKey(q, hier, a)] = q2;
+}
+
+StateId Nwa::NextInternal(StateId q, Symbol a) const {
+  StateId t = internal_[q * num_symbols_ + a];
+  return t == kNoState ? sink_ : t;
+}
+
+StateId Nwa::NextCallLinear(StateId q, Symbol a) const {
+  StateId t = call_linear_[q * num_symbols_ + a];
+  return t == kNoState ? sink_ : t;
+}
+
+StateId Nwa::NextCallHier(StateId q, Symbol a) const {
+  StateId t = call_hier_[q * num_symbols_ + a];
+  return t == kNoState ? sink_ : t;
+}
+
+StateId Nwa::NextReturn(StateId q, StateId hier, Symbol a) const {
+  auto it = returns_.find(ReturnKey(q, hier, a));
+  return it == returns_.end() ? sink_ : it->second;
+}
+
+void Nwa::Totalize() {
+  if (sink_ != kNoState) return;
+  sink_ = AddState(false);
+  // The sink absorbs: lookups fall through to sink_ automatically, and the
+  // sink's own rows are left undefined on purpose — they resolve to sink_.
+}
+
+bool Nwa::Accepts(const NestedWord& n) const {
+  NwaRunner r(*this);
+  return r.Run(n);
+}
+
+size_t Nwa::NumTransitions() const {
+  size_t count = returns_.size();
+  for (StateId t : internal_) count += t != kNoState;
+  for (StateId t : call_linear_) count += t != kNoState;
+  return count;
+}
+
+bool Nwa::IsWeak() const {
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      StateId h = call_hier_[q * num_symbols_ + a];
+      if (h != kNoState && h != q) return false;
+    }
+  }
+  return true;
+}
+
+bool Nwa::IsFlat() const {
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      StateId h = call_hier_[q * num_symbols_ + a];
+      if (h != kNoState && h != hier_initial_) return false;
+    }
+  }
+  return true;
+}
+
+bool Nwa::IsBottomUp() const {
+  for (Symbol a = 0; a < num_symbols_; ++a) {
+    StateId common = kNoState;
+    bool first = true;
+    for (StateId q = 0; q < num_states(); ++q) {
+      StateId t = call_linear_[q * num_symbols_ + a];
+      if (t == kNoState) continue;
+      if (first) {
+        common = t;
+        first = false;
+      } else if (t != common) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void NwaRunner::Reset() {
+  state_ = a_.initial();
+  dead_ = state_ == kNoState;
+  stack_.clear();
+  max_stack_ = 0;
+}
+
+bool NwaRunner::Feed(TaggedSymbol t) {
+  if (dead_) return false;
+  switch (t.kind) {
+    case Kind::kInternal:
+      state_ = a_.NextInternal(state_, t.symbol);
+      break;
+    case Kind::kCall: {
+      StateId h = a_.NextCallHier(state_, t.symbol);
+      StateId l = a_.NextCallLinear(state_, t.symbol);
+      if (l == kNoState || h == kNoState) {
+        state_ = kNoState;
+        break;
+      }
+      stack_.push_back(h);
+      if (stack_.size() > max_stack_) max_stack_ = stack_.size();
+      state_ = l;
+      break;
+    }
+    case Kind::kReturn: {
+      StateId h;
+      if (stack_.empty()) {
+        h = a_.hier_initial();  // pending return (paper: q_{−∞j} = q0)
+      } else {
+        h = stack_.back();
+        stack_.pop_back();
+      }
+      state_ = a_.NextReturn(state_, h, t.symbol);
+      break;
+    }
+  }
+  if (state_ == kNoState) dead_ = true;
+  return !dead_;
+}
+
+bool NwaRunner::Run(const NestedWord& n) {
+  Reset();
+  for (const TaggedSymbol& t : n.tagged()) {
+    if (!Feed(t)) return false;
+  }
+  return Accepting();
+}
+
+}  // namespace nw

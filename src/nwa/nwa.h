@@ -1,0 +1,151 @@
+// Deterministic nested word automata (paper §3.1).
+//
+// An NWA reads a nested word left to right. At an internal position it
+// steps like a DFA; at a call it forks a state along the linear edge and a
+// state along the hierarchical edge; at a return the next state is a joint
+// function of the states on the incoming linear and hierarchical edges.
+//
+// Implementation notes:
+//  * Automata may be partial: a missing transition sends the run to an
+//    implicit dead state (reject). Totalize() materializes an explicit
+//    sink so complementation is a final-flip away.
+//  * Hierarchical edges of pending returns (−∞ ⇝ j) carry hier_initial()
+//    — the paper's q0; constructions that need a distinct hierarchical
+//    start (determinization, reversal) set it explicitly.
+//  * Return transitions are stored sparsely (hash map) since a total
+//    return table is |Q|²·|Σ| — the succinctness experiments build
+//    automata where that is deliberately huge.
+#ifndef NW_NWA_NWA_H_
+#define NW_NWA_NWA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nw/nested_word.h"
+#include "wordauto/dfa.h"
+
+namespace nw {
+
+/// Deterministic nested word automaton A = (Q, q0, F, δc, δi, δr).
+class Nwa {
+ public:
+  /// Creates an automaton with no states over a `num_symbols` alphabet Σ.
+  explicit Nwa(size_t num_symbols) : num_symbols_(num_symbols) {}
+
+  StateId AddState(bool is_final = false);
+
+  /// Initial state q0. Also used as the hierarchical initial unless
+  /// set_hier_initial overrides it.
+  void set_initial(StateId q) {
+    initial_ = q;
+    if (hier_initial_ == kNoState) hier_initial_ = q;
+  }
+  StateId initial() const { return initial_; }
+
+  /// State labeling hierarchical edges of pending returns (paper: q0).
+  void set_hier_initial(StateId q) { hier_initial_ = q; }
+  StateId hier_initial() const { return hier_initial_; }
+
+  void set_final(StateId q, bool f = true) { final_[q] = f; }
+  bool is_final(StateId q) const { return final_[q]; }
+
+  size_t num_states() const { return final_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// δi(q, a) = q2.
+  void SetInternal(StateId q, Symbol a, StateId q2);
+  /// δc(q, a) = (linear, hier).
+  void SetCall(StateId q, Symbol a, StateId linear, StateId hier);
+  /// δr(q, hier, a) = q2.
+  void SetReturn(StateId q, StateId hier, Symbol a, StateId q2);
+
+  /// Lookups; kNoState when undefined (unless the automaton has a sink,
+  /// in which case the sink is returned).
+  StateId NextInternal(StateId q, Symbol a) const;
+  StateId NextCallLinear(StateId q, Symbol a) const;
+  StateId NextCallHier(StateId q, Symbol a) const;
+  StateId NextReturn(StateId q, StateId hier, Symbol a) const;
+
+  /// True if every transition resolves (possibly via the sink).
+  bool HasSink() const { return sink_ != kNoState; }
+
+  /// Makes the automaton total by adding (or reusing) a non-final sink
+  /// state that absorbs every missing transition. Idempotent.
+  void Totalize();
+
+  /// Runs the unique run of §3.1 and reports acceptance.
+  bool Accepts(const NestedWord& n) const;
+
+  /// Number of defined transitions (diagnostic / experiment metric).
+  size_t NumTransitions() const;
+
+  // -- Subclass predicates (§3.3–§3.5). --
+
+  /// Weak (§3.2): δhc(q,a) = q for all q, a (defined calls only).
+  bool IsWeak() const;
+  /// Flat (§3.3): δhc(q,a) = q0 for all q, a — no information crosses
+  /// hierarchical edges; equivalent to a classical word automaton.
+  bool IsFlat() const;
+  /// Bottom-up (§3.4): δlc(q,a) independent of q.
+  bool IsBottomUp() const;
+
+ private:
+  friend class NwaRunner;
+
+  static uint64_t ReturnKey(StateId q, StateId hier, Symbol a) {
+    // 24 bits per state, 16 bits per symbol: ample for this library's
+    // experiments and asserted on insertion.
+    return (static_cast<uint64_t>(q) << 40) |
+           (static_cast<uint64_t>(hier) << 16) | a;
+  }
+
+  size_t num_symbols_;
+  StateId initial_ = kNoState;
+  StateId hier_initial_ = kNoState;
+  StateId sink_ = kNoState;
+  std::vector<bool> final_;
+  std::vector<StateId> internal_;     // [q*|Σ|+a]
+  std::vector<StateId> call_linear_;  // [q*|Σ|+a]
+  std::vector<StateId> call_hier_;    // [q*|Σ|+a]
+  std::unordered_map<uint64_t, StateId> returns_;
+};
+
+/// Streaming runner: feeds one tagged symbol at a time, keeping only the
+/// current state and the stack of hierarchical-edge states. This realizes
+/// the §3.2 membership bound — linear time, space proportional to the
+/// *depth* of the input prefix, independent of its length.
+class NwaRunner {
+ public:
+  explicit NwaRunner(const Nwa& a) : a_(a) { Reset(); }
+
+  /// Restarts at the initial state with an empty stack.
+  void Reset();
+
+  /// Consumes one position. Returns false once the run is dead.
+  bool Feed(TaggedSymbol t);
+
+  /// Feeds a whole word; returns acceptance.
+  bool Run(const NestedWord& n);
+
+  /// True if the run has hit a missing transition.
+  bool dead() const { return dead_; }
+  /// Current linear state (meaningless when dead).
+  StateId state() const { return state_; }
+  /// Would the word fed so far be accepted?
+  bool Accepting() const { return !dead_ && a_.is_final(state_); }
+  /// Current stack height (= number of currently-pending calls).
+  size_t StackDepth() const { return stack_.size(); }
+  /// High-water mark of the stack — the §3.2 space bound witness.
+  size_t MaxStackDepth() const { return max_stack_; }
+
+ private:
+  const Nwa& a_;
+  StateId state_ = kNoState;
+  bool dead_ = false;
+  std::vector<StateId> stack_;
+  size_t max_stack_ = 0;
+};
+
+}  // namespace nw
+
+#endif  // NW_NWA_NWA_H_

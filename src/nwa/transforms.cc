@@ -1,0 +1,235 @@
+#include "nwa/transforms.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace nw {
+
+Nwa ToWeak(const Nwa& a) {
+  NW_CHECK(a.initial() != kNoState);
+  const size_t k = a.num_symbols();
+  Nwa out(k);
+  // Fresh hierarchical-initial marker (avoids the pending/matched return
+  // ambiguity when δhc(p0, ·) ≠ p0; see DESIGN.md §3).
+  StateId marker = out.AddState(false);
+  out.set_hier_initial(marker);
+
+  // Lazy exploration of pairs (A-state, call-parent symbol). Symbol k
+  // stands for the paper's arbitrary a0 (top level).
+  const Symbol kTop = static_cast<Symbol>(k);
+  std::map<std::pair<StateId, Symbol>, StateId> ids;
+  std::vector<std::pair<StateId, Symbol>> order;
+  auto intern = [&](StateId q, Symbol parent) {
+    auto key = std::make_pair(q, parent);
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    StateId id = out.AddState(a.is_final(q));
+    ids.emplace(key, id);
+    order.push_back(key);
+    return id;
+  };
+
+  StateId start = intern(a.initial(), kTop);
+  out.set_initial(start);
+  out.set_hier_initial(marker);
+
+  // Fixpoint: interning may discover new pairs at any time, and return
+  // transitions relate *pairs of pairs*; repeat full passes until no new
+  // pair appears (each pass covers all current combinations).
+  size_t stable_at = 0;
+  while (stable_at != order.size()) {
+    stable_at = order.size();
+    for (size_t i = 0; i < order.size(); ++i) {
+      auto [q, parent] = order[i];
+      StateId from = ids.at(order[i]);
+      for (Symbol b = 0; b < k; ++b) {
+        // Internal: label component untouched.
+        StateId ti = a.NextInternal(q, b);
+        if (ti != kNoState) out.SetInternal(from, b, intern(ti, parent));
+        // Call: remember b as the new call-parent symbol; push self (weak).
+        StateId tl = a.NextCallLinear(q, b);
+        if (tl != kNoState && a.NextCallHier(q, b) != kNoState) {
+          out.SetCall(from, b, intern(tl, b), from);
+        }
+      }
+      // Pending returns: apply A's rule for its own hierarchical initial;
+      // afterwards the position is at top level again.
+      if (a.hier_initial() != kNoState) {
+        for (Symbol c = 0; c < k; ++c) {
+          StateId t = a.NextReturn(q, a.hier_initial(), c);
+          if (t != kNoState) out.SetReturn(from, marker, c, intern(t, kTop));
+        }
+      }
+      // Matched returns: the popped state (q2, parent2) is the state at
+      // the call, so A pushed δhc(q2, parent) there (`parent` is the call's
+      // symbol by the invariant of the pair encoding).
+      if (parent == kTop) continue;  // matched return implies a parent
+      for (size_t j = 0; j < order.size(); ++j) {
+        auto [q2, parent2] = order[j];
+        StateId hier = ids.at(order[j]);
+        StateId pushed = a.NextCallHier(q2, parent);
+        if (pushed == kNoState) continue;
+        for (Symbol c = 0; c < k; ++c) {
+          StateId t = a.NextReturn(q, pushed, c);
+          if (t != kNoState) out.SetReturn(from, hier, c, intern(t, parent2));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Nwa FlatFromDfa(const Dfa& d, size_t sigma_size) {
+  NW_CHECK_MSG(d.num_symbols() == TaggedAlphabetSize(sigma_size),
+               "DFA alphabet must be the tagged alphabet of Σ");
+  NW_CHECK(d.initial() != kNoState);
+  Nwa out(sigma_size);
+  for (StateId q = 0; q < d.num_states(); ++q) out.AddState(d.is_final(q));
+  out.set_initial(d.initial());
+  for (StateId q = 0; q < d.num_states(); ++q) {
+    for (Symbol a = 0; a < sigma_size; ++a) {
+      StateId ti = d.Next(q, TaggedIndex(Internal(a), sigma_size));
+      if (ti != kNoState) out.SetInternal(q, a, ti);
+      StateId tc = d.Next(q, TaggedIndex(Call(a), sigma_size));
+      if (tc != kNoState) out.SetCall(q, a, tc, d.initial());
+      StateId tr = d.Next(q, TaggedIndex(Return(a), sigma_size));
+      if (tr != kNoState) out.SetReturn(q, d.initial(), a, tr);
+    }
+  }
+  return out;
+}
+
+Dfa DfaFromFlat(const Nwa& a) {
+  NW_CHECK_MSG(a.IsFlat(), "DfaFromFlat requires a flat NWA (Thm 2)");
+  const size_t sigma = a.num_symbols();
+  Dfa out(TaggedAlphabetSize(sigma));
+  for (StateId q = 0; q < a.num_states(); ++q) out.AddState(a.is_final(q));
+  out.set_initial(a.initial());
+  for (StateId q = 0; q < a.num_states(); ++q) {
+    for (Symbol s = 0; s < sigma; ++s) {
+      StateId ti = a.NextInternal(q, s);
+      if (ti != kNoState) {
+        out.SetTransition(q, TaggedIndex(Internal(s), sigma), ti);
+      }
+      StateId tc = a.NextCallLinear(q, s);
+      if (tc != kNoState) {
+        out.SetTransition(q, TaggedIndex(Call(s), sigma), tc);
+      }
+      StateId tr = a.NextReturn(q, a.hier_initial(), s);
+      if (tr != kNoState) {
+        out.SetTransition(q, TaggedIndex(Return(s), sigma), tr);
+      }
+    }
+  }
+  return out;
+}
+
+Nwa MinimizeFlat(const Nwa& a) {
+  return FlatFromDfa(DfaFromFlat(a).Minimize(), a.num_symbols());
+}
+
+Nwa ToBottomUp(const Nwa& weak) {
+  NW_CHECK_MSG(weak.IsWeak(), "ToBottomUp requires a weak NWA (Thm 4)");
+  NW_CHECK(weak.initial() != kNoState);
+  const size_t n = weak.num_states();
+  const size_t k = weak.num_symbols();
+  using Fn = std::vector<StateId>;  // Q -> Q ∪ {kNoState}
+
+  Nwa out(k);
+  std::map<Fn, StateId> ids;
+  std::vector<Fn> order;
+  auto is_final_fn = [&](const Fn& f) {
+    StateId v = f[weak.initial()];
+    return v != kNoState && weak.is_final(v);
+  };
+  auto intern = [&](Fn f) {
+    auto it = ids.find(f);
+    if (it != ids.end()) return it->second;
+    StateId id = out.AddState(is_final_fn(f));
+    ids.emplace(f, id);
+    order.push_back(std::move(f));
+    return id;
+  };
+
+  Fn identity(n);
+  for (StateId q = 0; q < n; ++q) identity[q] = q;
+  StateId start = intern(identity);
+  out.set_initial(start);
+  // No pending-return behaviour: bottom-up automata process only
+  // well-matched words (§3.4); the hierarchical initial stays at `start`
+  // with no return rules attached to it... except those the closure below
+  // adds for `start` as a *matched* hierarchical value, which is exactly
+  // Theorem 4's intent for the identity summary.
+
+  // Per-symbol call-target function: f_a(q) = δlc(q, a).
+  std::vector<StateId> call_target(k, kNoState);
+  for (Symbol a = 0; a < k; ++a) {
+    Fn fa(n, kNoState);
+    bool any = false;
+    for (StateId q = 0; q < n; ++q) {
+      StateId l = weak.NextCallLinear(q, a);
+      fa[q] = l;
+      any = any || l != kNoState;
+    }
+    if (any) call_target[a] = intern(std::move(fa));
+  }
+
+  // Closure: internal/call rows per function, and return rows per ordered
+  // pair of functions (f, g). Iterate to fixpoint as `order` grows.
+  size_t done_lin = 0;
+  std::vector<std::pair<size_t, size_t>> ret_done;  // processed (f,g) sizes
+  size_t done_f = 0, done_g = 0;
+  while (done_lin < order.size() || done_f < order.size() ||
+         done_g < order.size()) {
+    // Internal and call transitions for new functions.
+    for (; done_lin < order.size(); ++done_lin) {
+      Fn f = order[done_lin];
+      StateId from = ids.at(f);
+      for (Symbol a = 0; a < k; ++a) {
+        // Internal: f'(q) = δi(f(q), a).
+        Fn fi(n, kNoState);
+        bool any = false;
+        for (StateId q = 0; q < n; ++q) {
+          if (f[q] == kNoState) continue;
+          fi[q] = weak.NextInternal(f[q], a);
+          any = any || fi[q] != kNoState;
+        }
+        if (any) out.SetInternal(from, a, intern(std::move(fi)));
+        // Call: jump to the per-symbol function, push self (weak).
+        if (call_target[a] != kNoState) {
+          out.SetCall(from, a, call_target[a], from);
+        }
+      }
+    }
+    // Return transitions for all (f, g) pairs not processed yet.
+    size_t total = order.size();
+    for (size_t i = 0; i < total; ++i) {
+      for (size_t j = 0; j < total; ++j) {
+        if (i < done_f && j < done_g) continue;
+        const Fn f = order[i];
+        const Fn g = order[j];
+        StateId from = ids.at(f);
+        StateId hier = ids.at(g);
+        for (Symbol a = 0; a < k; ++a) {
+          // f'(q) = δr(f(g(q)), g(q), a).
+          Fn fr(n, kNoState);
+          bool any = false;
+          for (StateId q = 0; q < n; ++q) {
+            StateId gq = g[q];
+            if (gq == kNoState || f[gq] == kNoState) continue;
+            fr[q] = weak.NextReturn(f[gq], gq, a);
+            any = any || fr[q] != kNoState;
+          }
+          if (any) out.SetReturn(from, hier, a, intern(std::move(fr)));
+        }
+      }
+    }
+    done_f = done_g = total;
+  }
+  return out;
+}
+
+}  // namespace nw

@@ -1,0 +1,40 @@
+// The paper's normal-form constructions between NWA subclasses:
+//   Theorem 1 — every NWA has a *weak* equivalent with s·|Σ| states,
+//   Theorem 2 — flat NWAs are exactly classical word automata over Σ̂,
+//   Theorem 4 — every NWA has a weak *bottom-up* equivalent with s^s·|Σ|
+//               states over well-matched words.
+#ifndef NW_NWA_TRANSFORMS_H_
+#define NW_NWA_TRANSFORMS_H_
+
+#include "nwa/nwa.h"
+#include "wordauto/dfa.h"
+
+namespace nw {
+
+/// Theorem 1: an equivalent weak NWA (hierarchical edges carry the current
+/// state). States are reachable pairs (q, call-parent symbol) plus one
+/// fresh hierarchical-initial marker; at most s·|Σ| + 1 states.
+Nwa ToWeak(const Nwa& a);
+
+/// Theorem 2 (one direction): interprets a word automaton over the tagged
+/// alphabet Σ̂ (num_symbols = 3·|Σ|) as a flat NWA with the same states.
+Nwa FlatFromDfa(const Dfa& d, size_t sigma_size);
+
+/// Theorem 2 (other direction): a flat NWA as a word automaton over Σ̂.
+/// Requires a.IsFlat().
+Dfa DfaFromFlat(const Nwa& a);
+
+/// Minimal flat NWA for a flat input (§3.3: "using the classical
+/// algorithms for minimizing deterministic word automata").
+Nwa MinimizeFlat(const Nwa& a);
+
+/// Theorem 4: an equivalent weak bottom-up NWA over *well-matched* words
+/// (the §3.4 caveat: bottom-up automata cannot see across pending calls,
+/// so behaviour on non-well-matched input is unspecified — here: reject).
+/// Input must be weak (apply ToWeak first); states are the reachable
+/// functions f : Q → Q, at most s^s of them.
+Nwa ToBottomUp(const Nwa& weak);
+
+}  // namespace nw
+
+#endif  // NW_NWA_TRANSFORMS_H_

@@ -1,0 +1,202 @@
+#include "pda/pda.h"
+
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace nw {
+
+StateId Pda::AddState() {
+  StateId id = static_cast<StateId>(num_states_++);
+  input_.resize(num_states_ * num_symbols_);
+  push_.emplace_back();
+  pop_.emplace_back();
+  return id;
+}
+
+void Pda::AddInput(StateId q, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states_ && a < num_symbols_ && q2 < num_states_);
+  input_[q * num_symbols_ + a].push_back(q2);
+}
+
+void Pda::AddPush(StateId q, StateId q2, uint32_t gamma) {
+  NW_DCHECK(q < num_states_ && q2 < num_states_);
+  NW_CHECK_MSG(gamma != 0 && gamma < num_stack_symbols_,
+               "⊥ is never pushed (§4.1)");
+  push_[q].push_back({q2, gamma});
+}
+
+void Pda::AddPop(StateId q, uint32_t gamma, StateId q2) {
+  NW_DCHECK(q < num_states_ && gamma < num_stack_symbols_ &&
+            q2 < num_states_);
+  pop_[q].push_back({gamma, q2});
+}
+
+namespace {
+// Packs a summary (i, q, j, q2) for membership DP. Positions ≤ 2^16,
+// states ≤ 2^16.
+uint64_t Key(size_t i, StateId q, size_t j, StateId q2) {
+  return (static_cast<uint64_t>(i) << 48) | (static_cast<uint64_t>(q) << 32) |
+         (static_cast<uint64_t>(j) << 16) | q2;
+}
+}  // namespace
+
+bool Pda::Accepts(const std::vector<Symbol>& word) const {
+  const size_t len = word.size();
+  NW_CHECK(len < (1u << 16) && num_states_ < (1u << 16));
+  // S(i,q,j,q2): from (q, ε) at position i the automaton can reach (q2, ε)
+  // at position j, never popping below its floor.
+  std::unordered_set<uint64_t> s;
+  std::vector<uint64_t> work;
+  // by_end[j * n + q2] lists (i, q); by_start[i * n + q] lists (j, q2).
+  std::vector<std::vector<std::pair<size_t, StateId>>> by_end(
+      (len + 1) * num_states_);
+  std::vector<std::vector<std::pair<size_t, StateId>>> by_start(
+      (len + 1) * num_states_);
+  auto add = [&](size_t i, StateId q, size_t j, StateId q2) {
+    uint64_t key = Key(i, q, j, q2);
+    if (!s.insert(key).second) return;
+    by_end[j * num_states_ + q2].push_back({i, q});
+    by_start[i * num_states_ + q].push_back({j, q2});
+    work.push_back(key);
+  };
+  for (size_t i = 0; i <= len; ++i) {
+    for (StateId q = 0; q < num_states_; ++q) add(i, q, i, q);
+  }
+  while (!work.empty()) {
+    uint64_t key = work.back();
+    work.pop_back();
+    size_t i = key >> 48;
+    StateId q = static_cast<StateId>((key >> 32) & 0xffff);
+    size_t j = (key >> 16) & 0xffff;
+    StateId q2 = static_cast<StateId>(key & 0xffff);
+    // Extend by one input symbol.
+    if (j < len) {
+      for (StateId t : InputTargets(q2, word[j])) add(i, q, j + 1, t);
+    }
+    // Wrap: for every push (p → q, γ) and pop (q2, γ, r): S(i,p,j,r).
+    for (StateId p = 0; p < num_states_; ++p) {
+      for (const PushEdge& pe : Pushes(p)) {
+        if (pe.target != q) continue;
+        for (const PopEdge& po : Pops(q2)) {
+          if (po.gamma == pe.gamma) add(i, p, j, po.target);
+        }
+      }
+    }
+    // Concatenate: S(i,q,j,q2) ∘ S(j,q2,k,q3) and S(h,q0,i,q) ∘ this.
+    {
+      auto nexts = by_start[j * num_states_ + q2];
+      for (auto [k, q3] : nexts) add(i, q, k, q3);
+      auto prevs = by_end[i * num_states_ + q];
+      for (auto [h, q0] : prevs) add(h, q0, j, q2);
+    }
+  }
+  // Accept-by-empty-stack: pop ⊥ after a summary from an initial state,
+  // then keep running on the (now empty) stack.
+  std::vector<std::vector<bool>> t(len + 1,
+                                   std::vector<bool>(num_states_, false));
+  std::vector<std::pair<size_t, StateId>> twork;
+  auto tadd = [&](size_t j, StateId q) {
+    if (t[j][q]) return;
+    t[j][q] = true;
+    twork.push_back({j, q});
+  };
+  for (StateId q0 : initial_) {
+    for (auto [j, q] : by_start[0 * num_states_ + q0]) {
+      for (const PopEdge& po : Pops(q)) {
+        if (po.gamma == 0) tadd(j, po.target);
+      }
+    }
+  }
+  while (!twork.empty()) {
+    auto [j, q] = twork.back();
+    twork.pop_back();
+    if (j == len) return true;
+    for (auto [k, q2] : by_start[j * num_states_ + q]) {
+      // From an empty stack the same floor-respecting summaries apply.
+      tadd(k, q2);
+    }
+  }
+  for (StateId q = 0; q < num_states_; ++q) {
+    if (t[len][q]) return true;
+  }
+  return false;
+}
+
+bool Pda::AcceptsTagged(const NestedWord& n) const {
+  const size_t sigma = num_symbols_ / 3;
+  std::vector<Symbol> word;
+  word.reserve(n.size());
+  for (const TaggedSymbol& ts : n.tagged()) {
+    word.push_back(TaggedIndex(ts, sigma));
+  }
+  return Accepts(word);
+}
+
+bool Pda::IsEmpty() const {
+  // Saturate R(q, q′): runs from (q, ε) to (q′, ε) over some word.
+  std::unordered_set<uint64_t> r;
+  std::vector<std::pair<StateId, StateId>> work;
+  std::vector<std::vector<StateId>> from(num_states_), to(num_states_);
+  auto add = [&](StateId q, StateId q2) {
+    uint64_t key = (static_cast<uint64_t>(q) << 32) | q2;
+    if (!r.insert(key).second) return;
+    from[q].push_back(q2);
+    to[q2].push_back(q);
+    work.push_back({q, q2});
+  };
+  for (StateId q = 0; q < num_states_; ++q) add(q, q);
+  while (!work.empty()) {
+    auto [q, q2] = work.back();
+    work.pop_back();
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      for (StateId t : InputTargets(q2, a)) add(q, t);
+    }
+    for (StateId p = 0; p < num_states_; ++p) {
+      for (const PushEdge& pe : Pushes(p)) {
+        if (pe.target != q) continue;
+        for (const PopEdge& po : Pops(q2)) {
+          if (po.gamma == pe.gamma) add(p, po.target);
+        }
+      }
+    }
+    std::vector<StateId> nexts = from[q2];
+    for (StateId q3 : nexts) add(q, q3);
+    std::vector<StateId> prevs = to[q];
+    for (StateId q0 : prevs) add(q0, q2);
+  }
+  // Nonempty iff some initial state reaches a ⊥-popping state.
+  for (StateId q0 : initial_) {
+    for (StateId q : from[q0]) {
+      for (const PopEdge& po : Pops(q)) {
+        if (po.gamma == 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Pda Pda::EqualAsAndBs() {
+  // Counter automaton: stack symbol 1 = surplus of a's, 2 = surplus of b's.
+  // On an a-position: pop a b-surplus or push an a-surplus; symmetrically
+  // for b. Accept when balanced: pop ⊥.
+  const size_t sigma = 2;
+  Pda p(TaggedAlphabetSize(sigma), 3);
+  StateId run = p.AddState();
+  StateId seen_a = p.AddState();  // must account one a
+  StateId seen_b = p.AddState();
+  StateId done = p.AddState();
+  p.AddInitial(run);
+  for (Kind k : {Kind::kInternal, Kind::kCall, Kind::kReturn}) {
+    p.AddInput(run, TaggedIndex({k, 0}, sigma), seen_a);
+    p.AddInput(run, TaggedIndex({k, 1}, sigma), seen_b);
+  }
+  p.AddPush(seen_a, run, 1);
+  p.AddPop(seen_a, 2, run);
+  p.AddPush(seen_b, run, 2);
+  p.AddPop(seen_b, 1, run);
+  p.AddPop(run, 0, done);
+  return p;
+}
+
+}  // namespace nw

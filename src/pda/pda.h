@@ -1,0 +1,80 @@
+// Nondeterministic pushdown word automata accepting by empty stack — the
+// context-free-word baseline of Lemma 4 and §4.4's warm-up ("stackless
+// summaries" R(q,q')). Stack updates ride on ε-moves, mirroring the
+// pushdown-NWA formalization of §4.1.
+#ifndef NW_PDA_PDA_H_
+#define NW_PDA_PDA_H_
+
+#include <vector>
+
+#include "nw/nested_word.h"
+#include "wordauto/dfa.h"
+
+namespace nw {
+
+/// A pushdown word automaton. Stack symbol 0 is the bottom symbol ⊥,
+/// pre-loaded in the initial configuration (q0, ⊥) and never pushed.
+/// Acceptance: input consumed and stack empty (⊥ popped).
+class Pda {
+ public:
+  Pda(size_t num_symbols, size_t num_stack_symbols)
+      : num_symbols_(num_symbols), num_stack_symbols_(num_stack_symbols) {}
+
+  StateId AddState();
+  void AddInitial(StateId q) { initial_.push_back(q); }
+
+  /// Input transition (q, a, q2): consumes a, stack untouched.
+  void AddInput(StateId q, Symbol a, StateId q2);
+  /// ε push: (q → q2, push γ); γ must not be ⊥.
+  void AddPush(StateId q, StateId q2, uint32_t gamma);
+  /// ε pop: (q, γ → q2).
+  void AddPop(StateId q, uint32_t gamma, StateId q2);
+
+  size_t num_states() const { return num_states_; }
+  size_t num_symbols() const { return num_symbols_; }
+  size_t num_stack_symbols() const { return num_stack_symbols_; }
+  const std::vector<StateId>& initial() const { return initial_; }
+
+  const std::vector<StateId>& InputTargets(StateId q, Symbol a) const {
+    return input_[q * num_symbols_ + a];
+  }
+  struct PushEdge {
+    StateId target;
+    uint32_t gamma;
+  };
+  struct PopEdge {
+    uint32_t gamma;
+    StateId target;
+  };
+  const std::vector<PushEdge>& Pushes(StateId q) const { return push_[q]; }
+  const std::vector<PopEdge>& Pops(StateId q) const { return pop_[q]; }
+
+  /// Membership by the summary dynamic program (cubic in |w|).
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  /// Membership over the tagged encoding of a nested word; the automaton's
+  /// alphabet must be Σ̂ (num_symbols == 3·|Σ|).
+  bool AcceptsTagged(const NestedWord& n) const;
+
+  /// Emptiness by saturating stackless summaries R(q, q′) (§4.4).
+  bool IsEmpty() const;
+
+  /// The paper's running example: a PDA over the tagged alphabet of
+  /// Σ = {a, b} accepting words with equally many a- and b-labeled
+  /// positions (any kind) — a context-free word language that is not a
+  /// context-free tree language (Theorem 9).
+  static Pda EqualAsAndBs();
+
+ private:
+  size_t num_symbols_;
+  size_t num_stack_symbols_;
+  size_t num_states_ = 0;
+  std::vector<StateId> initial_;
+  std::vector<std::vector<StateId>> input_;
+  std::vector<std::vector<PushEdge>> push_;
+  std::vector<std::vector<PopEdge>> pop_;
+};
+
+}  // namespace nw
+
+#endif  // NW_PDA_PDA_H_

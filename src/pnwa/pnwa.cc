@@ -1,0 +1,519 @@
+#include "pnwa/pnwa.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace nw {
+
+StateId PushdownNwa::AddState(bool hierarchical) {
+  StateId id = static_cast<StateId>(hier_.size());
+  hier_.push_back(hierarchical);
+  internal_.resize(hier_.size() * num_symbols_);
+  call_.resize(hier_.size() * num_symbols_);
+  linear_ret_.resize(hier_.size() * num_symbols_);
+  hier_ret_.resize(hier_.size() * num_symbols_);
+  push_.emplace_back();
+  pop_.emplace_back();
+  return id;
+}
+
+void PushdownNwa::AddInternal(StateId q, Symbol a, StateId q2) {
+  NW_CHECK_MSG(!hier_[q] || hier_[q2], "Qh internal must stay in Qh (§4.1)");
+  internal_[q * num_symbols_ + a].push_back(q2);
+}
+
+void PushdownNwa::AddCall(StateId q, Symbol a, StateId linear, StateId hier) {
+  NW_CHECK_MSG(!hier_[q] || (hier_[linear] && hier_[hier]),
+               "Qh call forks into Qh × Qh (§4.1)");
+  call_[q * num_symbols_ + a].push_back({linear, hier});
+}
+
+void PushdownNwa::AddLinearReturn(StateId q, Symbol a, StateId q2) {
+  NW_CHECK_MSG(!hier_[q], "linear return source must be in Ql (§4.1)");
+  linear_ret_[q * num_symbols_ + a].push_back(q2);
+}
+
+void PushdownNwa::AddHierReturn(StateId h, Symbol a, StateId q2) {
+  NW_CHECK_MSG(hier_[h] && hier_[q2], "hier return maps Qh to Qh (§4.1)");
+  hier_ret_[h * num_symbols_ + a].push_back(q2);
+}
+
+void PushdownNwa::AddPush(StateId q, StateId q2, uint32_t gamma) {
+  NW_CHECK_MSG(gamma != 0 && gamma < num_stack_symbols_,
+               "⊥ is never pushed (§4.1)");
+  push_[q].push_back({q2, gamma});
+}
+
+void PushdownNwa::AddPop(StateId q, uint32_t gamma, StateId q2) {
+  NW_DCHECK(gamma < num_stack_symbols_);
+  pop_[q].push_back({gamma, q2});
+}
+
+namespace {
+
+/// A configuration: state plus explicit stack (bottom first).
+struct Config {
+  StateId q;
+  std::vector<uint32_t> stack;
+
+  friend bool operator<(const Config& x, const Config& y) {
+    if (x.q != y.q) return x.q < y.q;
+    return x.stack < y.stack;
+  }
+  friend bool operator==(const Config&, const Config&) = default;
+};
+
+using ConfigSet = std::vector<Config>;  // kept sorted + unique
+
+void Insert(ConfigSet* set, Config c) {
+  auto it = std::lower_bound(set->begin(), set->end(), c);
+  if (it == set->end() || !(*it == c)) set->insert(it, std::move(c));
+}
+
+}  // namespace
+
+/// Interpreter implementing the run definition of §4.1 literally, with
+/// memoization over (segment start, entry configuration).
+class PnwaInterp {
+ public:
+  PnwaInterp(const PushdownNwa& a, const NestedWord& n,
+             const PnwaLimits& limits, PnwaRunStats* stats)
+      : a_(a), n_(n), m_(n), limits_(limits), stats_(stats) {}
+
+  bool Run() {
+    bool q0_hier_exists = false;
+    for (StateId q0 : a_.initial_) q0_hier_exists |= a_.hier_[q0];
+    (void)q0_hier_exists;
+    ConfigSet result;
+    for (StateId q0 : a_.initial_) {
+      Config init{q0, {0}};  // (q0, ⊥)
+      ConfigSet out = Segment(0, n_.size(), init);
+      for (Config& c : Closure(std::move(out))) {
+        if (c.stack.empty()) return true;
+        (void)result;
+      }
+    }
+    return false;
+  }
+
+ private:
+  void Count() {
+    if (stats_ == nullptr) return;
+    if (++stats_->configs_explored > limits_.max_configs) {
+      stats_->hit_limit = true;
+    }
+  }
+
+  // ε-closure under push/pop moves, bounded by the stack limit and the
+  // global configuration budget (membership is NP-hard; the limits keep
+  // adversarial inputs from hanging — see PnwaLimits).
+  ConfigSet Closure(ConfigSet in) {
+    ConfigSet out;
+    std::vector<Config> work(in.begin(), in.end());
+    for (Config& c : work) Insert(&out, c);
+    while (!work.empty() && out.size() <= limits_.max_configs) {
+      Config c = std::move(work.back());
+      work.pop_back();
+      Count();
+      for (const auto& pe : a_.push_[c.q]) {
+        if (c.stack.size() >= limits_.max_stack) continue;
+        Config next{pe.target, c.stack};
+        next.stack.push_back(pe.gamma);
+        if (std::binary_search(out.begin(), out.end(), next)) continue;
+        Insert(&out, next);
+        work.push_back(std::move(next));
+      }
+      if (!c.stack.empty()) {
+        for (const auto& po : a_.pop_[c.q]) {
+          if (po.gamma != c.stack.back()) continue;
+          Config next{po.target, c.stack};
+          next.stack.pop_back();
+          if (std::binary_search(out.begin(), out.end(), next)) continue;
+          Insert(&out, next);
+          work.push_back(std::move(next));
+        }
+      }
+    }
+    return out;
+  }
+
+  // Processes positions [i, j) from entry configuration `c` (ε-closure is
+  // applied before every position). Memoized.
+  ConfigSet Segment(size_t i, size_t j, const Config& c) {
+    auto key = std::make_pair(i, c);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    // Reserve the memo slot to cut ε-free infinite recursion (none is
+    // possible structurally, but the entry keeps the recursion finite).
+    memo_[key] = {};
+
+    ConfigSet frontier{c};
+    size_t pos = i;
+    while (pos < j && !frontier.empty()) {
+      frontier = Closure(std::move(frontier));
+      Symbol sym = n_.symbol(pos);
+      ConfigSet next;
+      switch (n_.kind(pos)) {
+        case Kind::kInternal: {
+          for (const Config& cf : frontier) {
+            for (StateId t : a_.internal_[cf.q * a_.num_symbols_ + sym]) {
+              Insert(&next, {t, cf.stack});
+            }
+          }
+          ++pos;
+          break;
+        }
+        case Kind::kCall: {
+          int64_t partner = m_.partner(pos);
+          if (partner < 0) {
+            // Pending call: linear edge continues; the hierarchical edge's
+            // configuration is never consumed.
+            for (const Config& cf : frontier) {
+              for (const CallEdge& e : a_.call_[cf.q * a_.num_symbols_ + sym]) {
+                Insert(&next, {e.linear, cf.stack});
+              }
+            }
+            ++pos;
+            break;
+          }
+          size_t r = static_cast<size_t>(partner);
+          Symbol rsym = n_.symbol(r);
+          for (const Config& cf : frontier) {
+            for (const CallEdge& e : a_.call_[cf.q * a_.num_symbols_ + sym]) {
+              ConfigSet inside =
+                  Closure(Segment(pos + 1, r, {e.linear, cf.stack}));
+              for (const Config& end : inside) {
+                if (!a_.hier_[end.q]) {
+                  // Rule (a): previous state linear; hierarchical edge
+                  // state must be initial; the previous stack flows on.
+                  if (!IsInitial(e.hier)) continue;
+                  for (StateId t :
+                       a_.linear_ret_[end.q * a_.num_symbols_ + rsym]) {
+                    Insert(&next, {t, end.stack});
+                  }
+                } else {
+                  // Rule (b): leaf configuration — must be empty (the
+                  // acceptance condition; non-empty leaves cannot be part
+                  // of an accepting run, so prune). Steps on the edge.
+                  if (!end.stack.empty()) continue;
+                  for (StateId t :
+                       a_.hier_ret_[e.hier * a_.num_symbols_ + rsym]) {
+                    Insert(&next, {t, cf.stack});
+                  }
+                }
+              }
+            }
+          }
+          pos = r + 1;
+          break;
+        }
+        case Kind::kReturn: {
+          // Only pending returns are seen here: matched ones are consumed
+          // by their calls above.
+          NW_DCHECK(m_.partner(pos) == Matching::kPendingNegInf);
+          for (const Config& cf : frontier) {
+            if (!a_.hier_[cf.q]) {
+              // Rule (a): the pending edge's state is an initial state by
+              // definition; step on the current configuration.
+              for (StateId t : a_.linear_ret_[cf.q * a_.num_symbols_ + sym]) {
+                Insert(&next, {t, cf.stack});
+              }
+            } else {
+              // Rule (b): the current configuration is a leaf (empty
+              // stack); the edge carries (q0, ⊥) for some initial q0 in
+              // Qh; the next configuration inherits the edge's stack.
+              if (!cf.stack.empty()) continue;
+              for (StateId q0 : a_.initial_) {
+                if (!a_.hier_[q0]) continue;
+                for (StateId t : a_.hier_ret_[q0 * a_.num_symbols_ + sym]) {
+                  Insert(&next, {t, {0}});
+                }
+              }
+            }
+          }
+          ++pos;
+          break;
+        }
+      }
+      frontier = std::move(next);
+    }
+    memo_[key] = frontier;
+    return frontier;
+  }
+
+  bool IsInitial(StateId q) const {
+    for (StateId q0 : a_.initial_) {
+      if (q0 == q) return true;
+    }
+    return false;
+  }
+
+  const PushdownNwa& a_;
+  const NestedWord& n_;
+  Matching m_;
+  PnwaLimits limits_;
+  PnwaRunStats* stats_;
+  std::map<std::pair<size_t, Config>, ConfigSet> memo_;
+};
+
+bool PushdownNwa::Accepts(const NestedWord& n, const PnwaLimits& limits,
+                          PnwaRunStats* stats) const {
+  PnwaInterp interp(*this, n, limits, stats);
+  return interp.Run();
+}
+
+namespace {
+
+struct Summary {
+  StateId q;
+  uint64_t u;
+  StateId q2;
+
+  friend bool operator==(const Summary&, const Summary&) = default;
+};
+
+struct SummaryHash {
+  size_t operator()(const Summary& s) const {
+    uint64_t x = (static_cast<uint64_t>(s.q) << 32) ^ s.q2;
+    x ^= s.u * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return static_cast<size_t>(x * 0xbf58476d1ce4e5b9ULL);
+  }
+};
+
+}  // namespace
+
+bool PushdownNwa::IsEmpty() const {
+  const size_t k = num_symbols_;
+  const size_t n = num_states();
+  // Bit index per hierarchical state.
+  std::vector<int> hbit(n, -1);
+  int hcount = 0;
+  for (StateId q = 0; q < n; ++q) {
+    if (hier_[q]) hbit[q] = hcount++;
+  }
+  NW_CHECK_MSG(hcount <= 64, "emptiness supports at most 64 Qh states");
+
+  std::unordered_set<Summary, SummaryHash> seen;
+  std::vector<Summary> all;
+  std::vector<std::vector<size_t>> from(n), end_at(n), containing(n);
+  std::vector<size_t> work;
+
+  auto add = [&](StateId q, uint64_t u, StateId q2) {
+    Summary s{q, u, q2};
+    if (!seen.insert(s).second) return;
+    size_t idx = all.size();
+    all.push_back(s);
+    from[q].push_back(idx);
+    end_at[q2].push_back(idx);
+    for (StateId h = 0; h < n; ++h) {
+      if (hbit[h] >= 0 && (u >> hbit[h]) & 1) containing[h].push_back(idx);
+    }
+    work.push_back(idx);
+  };
+
+  // Base and the paper's standalone rules.
+  for (StateId q = 0; q < n; ++q) {
+    add(q, 0, q);
+    for (Symbol a = 0; a < k; ++a) {
+      for (StateId t : internal_[q * k + a]) add(q, 0, t);
+      if (!hier_[q]) {
+        for (StateId t : linear_ret_[q * k + a]) add(q, 0, t);
+      }
+      for (const CallEdge& e : call_[q * k + a]) {
+        if (!hier_[q] && !hier_[e.hier]) {
+          // Linear call whose frame can satisfy the q0-check at a matched
+          // linear return.
+          for (StateId q0 : initial_) {
+            if (q0 == e.hier) add(q, 0, e.linear);
+          }
+        }
+        if (hier_[e.linear] && hier_[e.hier]) {
+          // Hierarchical call-return: spawn the inside as a leaf thread.
+          for (Symbol b = 0; b < k; ++b) {
+            for (StateId t : hier_ret_[e.hier * k + b]) {
+              add(q, 1ull << hbit[e.linear], t);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  auto combine_linear = [&](const Summary& x, const Summary& y) {
+    // x then y.
+    if (x.q2 == y.q) add(x.q, x.u | y.u, y.q2);
+  };
+  auto combine_hier = [&](const Summary& x, const Summary& y) {
+    // Extend x's suspended thread y.q by y.
+    if (hbit[y.q] < 0) return;
+    uint64_t bit = 1ull << hbit[y.q];
+    if ((x.u & bit) == 0) return;
+    uint64_t u = (x.u & ~bit) | y.u;
+    if (hbit[y.q2] >= 0) u |= 1ull << hbit[y.q2];
+    add(x.q, u, x.q2);
+  };
+
+  while (!work.empty()) {
+    size_t idx = work.back();
+    work.pop_back();
+    Summary s = all[idx];
+    // Push–pop wrap: for pushes (p → s.q, γ) and pops (s.q2, γ, r), with
+    // every suspended thread popping γ as well.
+    for (StateId p = 0; p < n; ++p) {
+      for (const PushEdge& pe : push_[p]) {
+        if (pe.target != s.q) continue;
+        for (const PopEdge& po : pop_[s.q2]) {
+          if (po.gamma != pe.gamma || po.gamma == 0) continue;
+          uint64_t u2 = 0;
+          bool ok = true;
+          for (StateId h = 0; h < n; ++h) {
+            if (hbit[h] < 0 || ((s.u >> hbit[h]) & 1) == 0) continue;
+            bool any = false;
+            for (const PopEdge& hp : pop_[h]) {
+              if (hp.gamma == pe.gamma && hbit[hp.target] >= 0) {
+                u2 |= 1ull << hbit[hp.target];
+                any = true;
+              }
+            }
+            if (!any) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) add(p, u2, po.target);
+        }
+      }
+    }
+    // Linear concatenation, both directions.
+    {
+      std::vector<size_t> nexts = from[s.q2];
+      for (size_t j : nexts) combine_linear(s, all[j]);
+      std::vector<size_t> prevs = end_at[s.q];
+      for (size_t j : prevs) combine_linear(all[j], s);
+    }
+    // Hierarchical concatenation, both roles.
+    for (StateId h = 0; h < n; ++h) {
+      if (hbit[h] < 0 || ((s.u >> hbit[h]) & 1) == 0) continue;
+      std::vector<size_t> exts = from[h];
+      for (size_t j : exts) combine_hier(s, all[j]);
+    }
+    {
+      std::vector<size_t> hosts = containing[s.q];
+      for (size_t j : hosts) combine_hier(all[j], s);
+    }
+  }
+  last_summary_count_ = all.size();
+
+  // Top-level closure: pending returns (phase 0) precede pending calls
+  // (phase 1); `bot` tracks whether the main thread's ⊥ is still present.
+  struct Node {
+    StateId q;
+    uint64_t u;
+    uint8_t bot;
+    uint8_t phase;
+
+    bool operator==(const Node& o) const {
+      return q == o.q && u == o.u && bot == o.bot && phase == o.phase;
+    }
+  };
+  struct NodeHash {
+    size_t operator()(const Node& x) const {
+      return SummaryHash()({x.q, x.u, static_cast<StateId>(
+                                          (x.bot << 1) | x.phase)});
+    }
+  };
+  std::unordered_set<Node, NodeHash> visited;
+  std::vector<Node> nwork;
+  auto nadd = [&](Node x) {
+    if (!visited.insert(x).second) return;
+    nwork.push_back(x);
+  };
+  for (StateId q0 : initial_) nadd({q0, 0, 1, 0});
+
+  auto all_pop_bottom = [&](uint64_t u) {
+    for (StateId h = 0; h < n; ++h) {
+      if (hbit[h] < 0 || ((u >> hbit[h]) & 1) == 0) continue;
+      bool any = false;
+      for (const PopEdge& po : pop_[h]) any = any || po.gamma == 0;
+      if (!any) return false;
+    }
+    return true;
+  };
+
+  while (!nwork.empty()) {
+    Node x = nwork.back();
+    nwork.pop_back();
+    if (x.bot == 0 && x.u == 0) return false;  // empty stack reachable
+    // Summary step.
+    for (size_t j : from[x.q]) {
+      const Summary& s = all[j];
+      // With ⊥ popped the floor is empty: new leaf threads are complete.
+      uint64_t u = x.bot ? (x.u | s.u) : x.u;
+      nadd({s.q2, u, x.bot, x.phase});
+    }
+    // Explicit ⊥ pop (main thread and every suspended thread).
+    if (x.bot == 1 && all_pop_bottom(x.u)) {
+      for (const PopEdge& po : pop_[x.q]) {
+        if (po.gamma == 0) nadd({po.target, 0, 0, x.phase});
+      }
+    }
+    for (Symbol a = 0; a < k; ++a) {
+      // Pending returns (phase 0 only).
+      if (x.phase == 0) {
+        if (!hier_[x.q]) {
+          for (StateId t : linear_ret_[x.q * k + a]) {
+            nadd({t, x.u, x.bot, 0});
+          }
+        } else if (x.bot == 0 && x.u == 0) {
+          for (StateId q0 : initial_) {
+            if (!hier_[q0]) continue;
+            for (StateId t : hier_ret_[q0 * k + a]) nadd({t, 0, 1, 0});
+          }
+        }
+      }
+      // Pending calls.
+      for (const CallEdge& e : call_[x.q * k + a]) {
+        nadd({e.linear, x.u, x.bot, 1});
+      }
+    }
+  }
+  return true;
+}
+
+PushdownNwa PushdownNwa::FromPda(const Pda& pda, size_t sigma_size) {
+  NW_CHECK(pda.num_symbols() == TaggedAlphabetSize(sigma_size));
+  PushdownNwa out(sigma_size, pda.num_stack_symbols());
+  for (StateId q = 0; q < pda.num_states(); ++q) {
+    out.AddState(/*hierarchical=*/false);
+  }
+  for (StateId q0 : pda.initial()) out.AddInitial(q0);
+  StateId anchor = pda.initial().empty() ? 0 : pda.initial()[0];
+  for (StateId q = 0; q < pda.num_states(); ++q) {
+    for (Symbol s = 0; s < sigma_size; ++s) {
+      for (StateId t : pda.InputTargets(q, TaggedIndex(Internal(s), sigma_size))) {
+        out.AddInternal(q, s, t);
+      }
+      for (StateId t : pda.InputTargets(q, TaggedIndex(Call(s), sigma_size))) {
+        // The frame's state must be initial so matched linear returns pass
+        // the q0-check (the PDA ignores nesting entirely).
+        out.AddCall(q, s, t, anchor);
+      }
+      for (StateId t : pda.InputTargets(q, TaggedIndex(Return(s), sigma_size))) {
+        out.AddLinearReturn(q, s, t);
+      }
+    }
+    for (const Pda::PushEdge& pe : pda.Pushes(q)) {
+      out.AddPush(q, pe.target, pe.gamma);
+    }
+    for (const Pda::PopEdge& po : pda.Pops(q)) {
+      out.AddPop(q, po.gamma, po.target);
+    }
+  }
+  return out;
+}
+
+}  // namespace nw

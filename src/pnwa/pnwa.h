@@ -1,0 +1,127 @@
+// Pushdown nested word automata (paper §4).
+//
+// A PNWA adds a stack to the finite-state control of a nondeterministic
+// *joinless* automaton: at a call the entire stack is copied to both the
+// linear and the hierarchical edge; stack updates ride on ε push/pop
+// moves; acceptance is by empty stack — the end configuration and every
+// *leaf* configuration (the configuration just before a hierarchically
+// processed return) must have an empty stack.
+//
+// Pushdown word automata are the special case with all states linear
+// (Lemma 4); top-down pushdown tree automata the one with all states
+// hierarchical (Lemma 5). The class strictly contains both (Theorem 9);
+// membership is NP-complete (Theorem 10) and emptiness Exptime-complete
+// (Theorem 11).
+#ifndef NW_PNWA_PNWA_H_
+#define NW_PNWA_PNWA_H_
+
+#include <vector>
+
+#include "nw/nested_word.h"
+#include "nwa/nnwa.h"
+#include "pda/pda.h"
+
+namespace nw {
+
+/// Resource limits for the (NP-hard) membership interpreter.
+struct PnwaLimits {
+  size_t max_stack = 64;          ///< stack height bound per configuration
+  size_t max_configs = 1 << 18;   ///< explored configuration bound
+};
+
+/// Statistics from a membership run (experiment instrumentation, E-THM10).
+struct PnwaRunStats {
+  size_t configs_explored = 0;
+  bool hit_limit = false;
+};
+
+/// Pushdown nested word automaton.
+class PushdownNwa {
+ public:
+  /// Stack symbol 0 is ⊥ (pre-loaded, never pushed).
+  PushdownNwa(size_t num_symbols, size_t num_stack_symbols)
+      : num_symbols_(num_symbols), num_stack_symbols_(num_stack_symbols) {}
+
+  /// Adds a state in the given mode (linear or hierarchical).
+  StateId AddState(bool hierarchical);
+  void AddInitial(StateId q) { initial_.push_back(q); }
+
+  bool is_hier(StateId q) const { return hier_[q]; }
+  size_t num_states() const { return hier_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+  size_t num_stack_symbols() const { return num_stack_symbols_; }
+  const std::vector<StateId>& initial() const { return initial_; }
+
+  /// δi: internal transition; a hierarchical source stays in Qh.
+  void AddInternal(StateId q, Symbol a, StateId q2);
+  /// δc: call; a hierarchical source forks into Qh × Qh. Both edges
+  /// receive a copy of the current stack.
+  void AddCall(StateId q, Symbol a, StateId linear, StateId hier);
+  /// δr, linear rule: fires at a return when the previous state is linear
+  /// and the hierarchical edge carries an initial state; steps on the
+  /// previous configuration (stack flows through).
+  void AddLinearReturn(StateId q, Symbol a, StateId q2);
+  /// δr, hierarchical rule: keyed on the hierarchical-edge state h; fires
+  /// when the previous configuration is a leaf (state in Qh, empty stack);
+  /// the next configuration takes the *edge's* stack.
+  void AddHierReturn(StateId h, Symbol a, StateId q2);
+  /// ε push (γ ≠ ⊥) and ε pop.
+  void AddPush(StateId q, StateId q2, uint32_t gamma);
+  void AddPop(StateId q, uint32_t gamma, StateId q2);
+
+  /// Membership (Theorem 10: NP-complete). Exhaustive search over runs,
+  /// memoized on (position, configuration); limits guard pathological
+  /// ε-loops. `stats` is optional instrumentation.
+  bool Accepts(const NestedWord& n, const PnwaLimits& limits = {},
+               PnwaRunStats* stats = nullptr) const;
+
+  /// Emptiness (Theorem 11: Exptime-complete) via saturation of the
+  /// summaries R(q, U, q′) of §4.4 — U ⊆ Qh is the set of suspended leaf
+  /// threads that must keep consuming the outer stack — followed by a
+  /// top-level closure over pending returns and calls. Requires
+  /// |Qh| ≤ 64.
+  bool IsEmpty() const;
+
+  /// Number of saturated summary triples in the last IsEmpty() call
+  /// (experiment metric for E-THM11).
+  size_t last_summary_count() const { return last_summary_count_; }
+
+  /// Lemma 4: embeds a pushdown word automaton over the tagged alphabet
+  /// Σ̂ (all states linear; nesting ignored).
+  static PushdownNwa FromPda(const Pda& pda, size_t sigma_size);
+
+  /// Regular case: embeds a nondeterministic NWA (via its joinless form
+  /// would match the paper; we embed the already-joinless shape produced
+  /// by JoinlessNwa::FromNnwa through its Nnwa view at the caller's
+  /// choice). Here: a *finite* joinless-shaped automaton given by the same
+  /// transition vocabulary, with an always-poppable ⊥.
+  /// (See pnwa_test.cc for usage.)
+
+ private:
+  struct PushEdge {
+    StateId target;
+    uint32_t gamma;
+  };
+  struct PopEdge {
+    uint32_t gamma;
+    StateId target;
+  };
+
+  friend class PnwaInterp;
+
+  size_t num_symbols_;
+  size_t num_stack_symbols_;
+  std::vector<bool> hier_;
+  std::vector<StateId> initial_;
+  std::vector<std::vector<StateId>> internal_;      // [q*|Σ|+a]
+  std::vector<std::vector<CallEdge>> call_;         // [q*|Σ|+a]
+  std::vector<std::vector<StateId>> linear_ret_;    // [q*|Σ|+a]
+  std::vector<std::vector<StateId>> hier_ret_;      // [h*|Σ|+a]
+  std::vector<std::vector<PushEdge>> push_;
+  std::vector<std::vector<PopEdge>> pop_;
+  mutable size_t last_summary_count_ = 0;
+};
+
+}  // namespace nw
+
+#endif  // NW_PNWA_PNWA_H_

@@ -1,0 +1,85 @@
+#include "pnwa/reduction.h"
+
+#include <array>
+
+#include "support/check.h"
+
+namespace nw {
+
+SatReduction ReduceSatToPnwaMembership(const Cnf& cnf) {
+  const uint32_t v = cnf.num_vars;
+  const size_t s = cnf.clauses.size();
+  // Stack symbols: ⊥ = 0, TRUE = 1, FALSE = 2.
+  PushdownNwa a(/*num_symbols=*/1, /*num_stack_symbols=*/3);
+
+  // Guess phase: g[j] after j bits pushed (variable j−1 on top ... no:
+  // variable 0 is pushed first, so the stack from bottom is var 0 .. v−1
+  // and pops reveal variables in reverse order).
+  std::vector<StateId> g(v + 1);
+  for (uint32_t j = 0; j <= v; ++j) g[j] = a.AddState(/*hier=*/true);
+  a.AddInitial(g[0]);
+  for (uint32_t j = 0; j < v; ++j) {
+    a.AddPush(g[j], g[j + 1], 1);  // var j := true
+    a.AddPush(g[j], g[j + 1], 2);  // var j := false
+  }
+
+  // Block chain: blk[i] reads clause i's block; cont[i] carries the
+  // continuation over the hierarchical edge.
+  std::vector<StateId> blk(s + 1);
+  blk[0] = g[v];
+  for (size_t i = 1; i <= s; ++i) blk[i] = a.AddState(/*hier=*/true);
+  StateId drain = a.AddState(/*hier=*/true);
+
+  for (size_t i = 0; i < s; ++i) {
+    // Inside: in[j][f] = j variables popped-and-read, f = clause satisfied.
+    // Between input symbols, one ε-pop reveals variable v−1−j.
+    std::vector<std::array<StateId, 2>> in(v + 1), mid(v);
+    for (uint32_t j = 0; j <= v; ++j) {
+      in[j] = {a.AddState(true), a.AddState(true)};
+    }
+    for (uint32_t j = 0; j < v; ++j) {
+      mid[j] = {a.AddState(true), a.AddState(true)};
+    }
+    for (uint32_t j = 0; j < v; ++j) {
+      uint32_t var = v - 1 - j;
+      bool pos_sat = false, neg_sat = false;
+      for (const Literal& lit : cnf.clauses[i]) {
+        if (lit.var == var && lit.positive) pos_sat = true;
+        if (lit.var == var && !lit.positive) neg_sat = true;
+      }
+      for (int f = 0; f < 2; ++f) {
+        // Pop TRUE: satisfied if the clause has +var; pop FALSE: −var.
+        a.AddPop(in[j][f], 1, mid[j][(f || pos_sat) ? 1 : 0]);
+        a.AddPop(in[j][f], 2, mid[j][(f || neg_sat) ? 1 : 0]);
+        a.AddInternal(mid[j][f], 0, in[j + 1][f]);
+      }
+    }
+    // Satisfied insides drain their ⊥ copy: leaf condition met.
+    StateId leaf_done = a.AddState(/*hier=*/true);
+    a.AddPop(in[v][1], 0, leaf_done);
+    // The block: call forks (inside, continuation); the return resumes the
+    // chain from the hierarchical edge with the assignment stack intact.
+    StateId cont = a.AddState(/*hier=*/true);
+    a.AddCall(blk[i], 0, in[0][0], cont);
+    a.AddHierReturn(cont, 0, blk[i + 1]);
+  }
+  // After the last block the main thread still carries the assignment and
+  // ⊥: drain to the empty stack (acceptance).
+  a.AddPop(blk[s], 1, drain);
+  a.AddPop(blk[s], 2, drain);
+  a.AddPop(blk[s], 0, drain);
+  a.AddPop(drain, 1, drain);
+  a.AddPop(drain, 2, drain);
+  a.AddPop(drain, 0, drain);
+
+  // The word (<a a^v a>)^s over the unary alphabet.
+  NestedWord word;
+  for (size_t i = 0; i < s; ++i) {
+    word.Push(Call(0));
+    for (uint32_t j = 0; j < v; ++j) word.Push(Internal(0));
+    word.Push(Return(0));
+  }
+  return {std::move(a), std::move(word)};
+}
+
+}  // namespace nw

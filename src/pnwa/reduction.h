@@ -1,0 +1,27 @@
+// Theorem 10: membership for pushdown nested word automata is NP-complete,
+// by reduction from CNF-SAT. Given φ with v variables and s clauses, the
+// automaton guesses an assignment with v ε-pushes; the input word
+// (<a a^v a>)^s copies the assignment stack into each clause block, whose
+// inside pops the v bits, checks the clause, and drains to the empty stack
+// (the leaf condition). φ is satisfiable iff the word is accepted.
+#ifndef NW_PNWA_REDUCTION_H_
+#define NW_PNWA_REDUCTION_H_
+
+#include "pnwa/pnwa.h"
+#include "sat/sat.h"
+
+namespace nw {
+
+/// The reduction artifact: automaton + input word.
+struct SatReduction {
+  PushdownNwa pnwa;
+  NestedWord word;
+};
+
+/// Builds the Theorem 10 instance for φ. The unary alphabet {a} is used,
+/// exactly as in the paper's hardness proof.
+SatReduction ReduceSatToPnwaMembership(const Cnf& cnf);
+
+}  // namespace nw
+
+#endif  // NW_PNWA_REDUCTION_H_

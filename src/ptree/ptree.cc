@@ -1,0 +1,214 @@
+#include "ptree/ptree.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace nw {
+
+StateId PushdownTreeAutomaton::AddState() {
+  StateId id = static_cast<StateId>(num_states_++);
+  leaf_.emplace_back();
+  unary_.emplace_back();
+  branch_.emplace_back();
+  push_.emplace_back();
+  pop_.emplace_back();
+  return id;
+}
+
+void PushdownTreeAutomaton::AddLeaf(StateId q, Symbol a, StateId q2) {
+  leaf_[q].push_back({a, q2});
+}
+void PushdownTreeAutomaton::AddUnary(StateId q, Symbol a, StateId child) {
+  unary_[q].push_back({a, child});
+}
+void PushdownTreeAutomaton::AddBranch(StateId q, Symbol a, StateId left,
+                                      StateId right) {
+  branch_[q].push_back({a, left, right});
+}
+void PushdownTreeAutomaton::AddPush(StateId q, StateId q2, uint32_t gamma) {
+  NW_CHECK_MSG(gamma != 0 && gamma < num_stack_symbols_, "⊥ is never pushed");
+  push_[q].push_back({q2, gamma});
+}
+void PushdownTreeAutomaton::AddPop(StateId q, uint32_t gamma, StateId q2) {
+  NW_DCHECK(gamma < num_stack_symbols_);
+  pop_[q].push_back({gamma, q2});
+}
+
+namespace {
+using Stack = std::vector<uint32_t>;
+using Cfg = std::pair<StateId, Stack>;
+}  // namespace
+
+bool PushdownTreeAutomaton::AcceptsTree(const OrderedTree& t,
+                                        size_t max_stack) const {
+  if (t.IsEmpty()) return false;  // runs are defined on non-empty trees
+
+  // ε-closure of a single configuration.
+  auto closure = [&](const Cfg& c) {
+    std::set<Cfg> out{c};
+    std::vector<Cfg> work{c};
+    while (!work.empty()) {
+      Cfg cur = std::move(work.back());
+      work.pop_back();
+      for (const PushEdge& pe : push_[cur.first]) {
+        if (cur.second.size() >= max_stack) continue;
+        Cfg next{pe.target, cur.second};
+        next.second.push_back(pe.gamma);
+        if (out.insert(next).second) work.push_back(std::move(next));
+      }
+      if (!cur.second.empty()) {
+        for (const PopEdge& po : pop_[cur.first]) {
+          if (po.gamma != cur.second.back()) continue;
+          Cfg next{po.target, cur.second};
+          next.second.pop_back();
+          if (out.insert(next).second) work.push_back(std::move(next));
+        }
+      }
+    }
+    return out;
+  };
+
+  // Memoized: can the subtree rooted at `node` be accepted from cfg?
+  std::map<std::pair<const TreeNode*, Cfg>, bool> memo;
+  std::function<bool(const TreeNode&, const Cfg&)> accept =
+      [&](const TreeNode& node, const Cfg& cfg) -> bool {
+    auto key = std::make_pair(&node, cfg);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    memo[key] = false;  // cut cycles through ε-loops
+    bool ok = false;
+    for (const Cfg& c : closure(cfg)) {
+      if (ok) break;
+      NW_CHECK_MSG(node.children.size() <= 2, "arity ≤ 2 supported");
+      if (node.children.empty()) {
+        for (const Leaf& l : leaf_[c.first]) {
+          if (l.a != node.label) continue;
+          // After consuming the leaf: ε-moves to an empty stack.
+          for (const Cfg& e : closure({l.q2, c.second})) {
+            if (e.second.empty()) {
+              ok = true;
+              break;
+            }
+          }
+          if (ok) break;
+        }
+      } else if (node.children.size() == 1) {
+        for (const Unary& u : unary_[c.first]) {
+          if (u.a != node.label) continue;
+          if (accept(node.children[0], {u.child, c.second})) {
+            ok = true;
+            break;
+          }
+        }
+      } else {
+        for (const Branch& b : branch_[c.first]) {
+          if (b.a != node.label) continue;
+          if (accept(node.children[0], {b.left, c.second}) &&
+              accept(node.children[1], {b.right, c.second})) {
+            ok = true;
+            break;
+          }
+        }
+      }
+    }
+    memo[key] = ok;
+    return ok;
+  };
+
+  for (StateId q0 : initial_) {
+    if (accept(t.root(), {q0, {0}})) return true;  // (q0, ⊥)
+  }
+  return false;
+}
+
+bool PushdownTreeAutomaton::IsEmpty() const {
+  NW_CHECK_MSG(num_states_ <= 32, "emptiness supports at most 32 states");
+  // R(q, U) as (q, bitmask): some tree runs from (q, ε) to leaves (u, ε),
+  // u ∈ U. The relation is upward closed in U.
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<StateId, uint32_t>> all;
+  std::vector<uint64_t> work;
+  auto add = [&](StateId q, uint32_t u) {
+    uint64_t key = (static_cast<uint64_t>(q) << 32) | u;
+    if (!seen.insert(key).second) return;
+    all.push_back({q, u});
+    work.push_back(key);
+  };
+  for (StateId q = 0; q < num_states_; ++q) {
+    for (const Leaf& l : leaf_[q]) add(q, 1u << l.q2);
+  }
+  while (!work.empty()) {
+    uint64_t key = work.back();
+    work.pop_back();
+    StateId q = static_cast<StateId>(key >> 32);
+    uint32_t u = static_cast<uint32_t>(key);
+    // Unary extension.
+    for (StateId p = 0; p < num_states_; ++p) {
+      for (const Unary& un : unary_[p]) {
+        if (un.child == q) add(p, u);
+      }
+    }
+    // Branch: combine with every known co-branch.
+    for (StateId p = 0; p < num_states_; ++p) {
+      for (const Branch& b : branch_[p]) {
+        if (b.left == q) {
+          for (auto [q2, u2] : std::vector<std::pair<StateId, uint32_t>>(
+                   all.begin(), all.end())) {
+            if (q2 == b.right) add(p, u | u2);
+          }
+        }
+        if (b.right == q) {
+          for (auto [q2, u2] : std::vector<std::pair<StateId, uint32_t>>(
+                   all.begin(), all.end())) {
+            if (q2 == b.left) add(p, u | u2);
+          }
+        }
+      }
+    }
+    // Push–pop wrap: push (p → q, γ); every leaf pops γ.
+    for (StateId p = 0; p < num_states_; ++p) {
+      for (const PushEdge& pe : push_[p]) {
+        if (pe.target != q) continue;
+        uint32_t u2 = 0;
+        bool ok = true;
+        for (StateId l = 0; l < num_states_; ++l) {
+          if (((u >> l) & 1) == 0) continue;
+          bool any = false;
+          for (const PopEdge& po : pop_[l]) {
+            if (po.gamma == pe.gamma) {
+              u2 |= 1u << po.target;
+              any = true;
+            }
+          }
+          if (!any) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) add(p, u2);
+      }
+    }
+  }
+  last_summary_count_ = all.size();
+  // Nonempty iff R(q0, U) with every u ∈ U able to pop ⊥.
+  for (auto [q, u] : all) {
+    bool q0ok = false;
+    for (StateId q0 : initial_) q0ok = q0ok || q0 == q;
+    if (!q0ok) continue;
+    bool final_ok = true;
+    for (StateId l = 0; l < num_states_ && final_ok; ++l) {
+      if (((u >> l) & 1) == 0) continue;
+      bool any = false;
+      for (const PopEdge& po : pop_[l]) any = any || po.gamma == 0;
+      final_ok = any;
+    }
+    if (final_ok) return false;
+  }
+  return true;
+}
+
+}  // namespace nw

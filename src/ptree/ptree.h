@@ -1,0 +1,89 @@
+// Top-down pushdown tree automata (Guessarian [8]; paper §4.2, Lemma 5) —
+// the context-free-tree baseline. A run starts at the root in (q0, ⊥);
+// at a node the automaton forks into the children, *copying its stack* to
+// each; stack updates are ε-moves; it accepts when every leaf's run ends
+// with an empty stack. Nodes of arity 0 (leaf), 1 (stem) and 2 (branch)
+// are supported — enough for the paper's Figure-2 family (a stem of a's
+// topped by a full binary tree of b's).
+#ifndef NW_PTREE_PTREE_H_
+#define NW_PTREE_PTREE_H_
+
+#include <vector>
+
+#include "trees/ordered_tree.h"
+#include "wordauto/dfa.h"
+
+namespace nw {
+
+/// Top-down pushdown tree automaton over trees of arity ≤ 2.
+class PushdownTreeAutomaton {
+ public:
+  /// Stack symbol 0 is ⊥ (pre-loaded, never pushed).
+  PushdownTreeAutomaton(size_t num_symbols, size_t num_stack_symbols)
+      : num_symbols_(num_symbols), num_stack_symbols_(num_stack_symbols) {}
+
+  StateId AddState();
+  void AddInitial(StateId q) { initial_.push_back(q); }
+
+  /// Leaf transition: consume an a-labeled leaf; the run then performs
+  /// ε-moves and must reach an empty stack.
+  void AddLeaf(StateId q, Symbol a, StateId q2);
+  /// Unary (stem) transition.
+  void AddUnary(StateId q, Symbol a, StateId child);
+  /// Binary transition: fork into the two children with copied stacks.
+  void AddBranch(StateId q, Symbol a, StateId left, StateId right);
+  /// ε push (γ ≠ ⊥) / pop.
+  void AddPush(StateId q, StateId q2, uint32_t gamma);
+  void AddPop(StateId q, uint32_t gamma, StateId q2);
+
+  size_t num_states() const { return num_states_; }
+
+  /// Membership (NP-complete, like pushdown NWAs — the same stack-copying
+  /// mechanism; §4.3). Bounded exhaustive search with memoization.
+  bool AcceptsTree(const OrderedTree& t, size_t max_stack = 64) const;
+
+  /// Emptiness via saturation of R(q, U) (§4.4): R(q, U) holds iff some
+  /// tree has a run from (q, ε) whose leaves all end in (u, ε), u ∈ U.
+  /// Exponential in |Q| (the paper's Exptime bound). Requires |Q| ≤ 32.
+  bool IsEmpty() const;
+
+  /// Summary count from the last IsEmpty() (experiment metric).
+  size_t last_summary_count() const { return last_summary_count_; }
+
+ private:
+  struct PushEdge {
+    StateId target;
+    uint32_t gamma;
+  };
+  struct PopEdge {
+    uint32_t gamma;
+    StateId target;
+  };
+  struct Unary {
+    Symbol a;
+    StateId child;
+  };
+  struct Branch {
+    Symbol a;
+    StateId left, right;
+  };
+  struct Leaf {
+    Symbol a;
+    StateId q2;
+  };
+
+  size_t num_symbols_;
+  size_t num_stack_symbols_;
+  size_t num_states_ = 0;
+  std::vector<StateId> initial_;
+  std::vector<std::vector<Leaf>> leaf_;
+  std::vector<std::vector<Unary>> unary_;
+  std::vector<std::vector<Branch>> branch_;
+  std::vector<std::vector<PushEdge>> push_;
+  std::vector<std::vector<PopEdge>> pop_;
+  mutable size_t last_summary_count_ = 0;
+};
+
+}  // namespace nw
+
+#endif  // NW_PTREE_PTREE_H_

@@ -1,0 +1,110 @@
+#include "sat/sat.h"
+
+#include "support/check.h"
+
+namespace nw {
+
+bool Cnf::Eval(const std::vector<bool>& assignment) const {
+  NW_CHECK(assignment.size() >= num_vars);
+  for (const auto& clause : clauses) {
+    bool sat = false;
+    for (const Literal& lit : clause) {
+      if (assignment[lit.var] == lit.positive) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Cnf Cnf::Random(Rng* rng, uint32_t num_vars, uint32_t num_clauses,
+                uint32_t k) {
+  NW_CHECK(num_vars >= k);
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  for (uint32_t c = 0; c < num_clauses; ++c) {
+    std::vector<Literal> clause;
+    std::vector<bool> used(num_vars, false);
+    while (clause.size() < k) {
+      uint32_t v = static_cast<uint32_t>(rng->Below(num_vars));
+      if (used[v]) continue;
+      used[v] = true;
+      clause.push_back({v, rng->Chance(1, 2)});
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+namespace {
+
+enum class Value : uint8_t { kUnset, kTrue, kFalse };
+
+bool Dpll(const Cnf& cnf, std::vector<Value>* assign) {
+  // Unit propagation to fixpoint.
+  std::vector<std::pair<uint32_t, Value>> trail;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& clause : cnf.clauses) {
+      int unset = 0;
+      const Literal* unit = nullptr;
+      bool sat = false;
+      for (const Literal& lit : clause) {
+        Value v = (*assign)[lit.var];
+        if (v == Value::kUnset) {
+          ++unset;
+          unit = &lit;
+        } else if ((v == Value::kTrue) == lit.positive) {
+          sat = true;
+          break;
+        }
+      }
+      if (sat) continue;
+      if (unset == 0) {
+        // Conflict: undo trail.
+        for (auto& [var, old] : trail) (*assign)[var] = old;
+        return false;
+      }
+      if (unset == 1) {
+        trail.push_back({unit->var, Value::kUnset});
+        (*assign)[unit->var] = unit->positive ? Value::kTrue : Value::kFalse;
+        changed = true;
+      }
+    }
+  }
+  // Pick a branching variable.
+  uint32_t branch = cnf.num_vars;
+  for (uint32_t v = 0; v < cnf.num_vars; ++v) {
+    if ((*assign)[v] == Value::kUnset) {
+      branch = v;
+      break;
+    }
+  }
+  if (branch == cnf.num_vars) return true;  // complete assignment, all sat
+  for (Value choice : {Value::kTrue, Value::kFalse}) {
+    (*assign)[branch] = choice;
+    if (Dpll(cnf, assign)) return true;
+  }
+  (*assign)[branch] = Value::kUnset;
+  for (auto& [var, old] : trail) (*assign)[var] = old;
+  return false;
+}
+
+}  // namespace
+
+bool DpllSolve(const Cnf& cnf, std::vector<bool>* model) {
+  std::vector<Value> assign(cnf.num_vars, Value::kUnset);
+  if (!Dpll(cnf, &assign)) return false;
+  if (model != nullptr) {
+    model->assign(cnf.num_vars, false);
+    for (uint32_t v = 0; v < cnf.num_vars; ++v) {
+      (*model)[v] = assign[v] == Value::kTrue;
+    }
+  }
+  return true;
+}
+
+}  // namespace nw

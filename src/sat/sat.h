@@ -1,0 +1,39 @@
+// CNF formulas and a small DPLL solver — the independent oracle for the
+// Theorem 10 reduction (membership of pushdown NWAs is NP-complete via
+// CNF-SAT).
+#ifndef NW_SAT_SAT_H_
+#define NW_SAT_SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace nw {
+
+/// A literal: variable index (0-based) with sign.
+struct Literal {
+  uint32_t var;
+  bool positive;
+};
+
+/// A CNF formula: conjunction of clauses, each a disjunction of literals.
+struct Cnf {
+  uint32_t num_vars = 0;
+  std::vector<std::vector<Literal>> clauses;
+
+  /// Evaluates under a full assignment (assignment[v] = truth of var v).
+  bool Eval(const std::vector<bool>& assignment) const;
+
+  /// Uniform random k-SAT instance.
+  static Cnf Random(Rng* rng, uint32_t num_vars, uint32_t num_clauses,
+                    uint32_t k = 3);
+};
+
+/// DPLL with unit propagation. Returns satisfiability; fills `model` (if
+/// non-null) with a satisfying assignment on success.
+bool DpllSolve(const Cnf& cnf, std::vector<bool>* model = nullptr);
+
+}  // namespace nw
+
+#endif  // NW_SAT_SAT_H_

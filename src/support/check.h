@@ -1,0 +1,40 @@
+// Lightweight runtime invariant checks in the spirit of the Google C++ style
+// guide's recommendation against exceptions: programmer errors abort with a
+// message, recoverable errors travel through Result<T> (see result.h).
+#ifndef NW_SUPPORT_CHECK_H_
+#define NW_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build modes:
+/// the library's invariants are cheap relative to the automata algorithms.
+#define NW_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "NW_CHECK failed: %s at %s:%d\n", #cond, __FILE__, \
+                   __LINE__);                                                 \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// NW_CHECK with a printf-style explanation appended to the diagnostic.
+#define NW_CHECK_MSG(cond, ...)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "NW_CHECK failed: %s at %s:%d: ", #cond,      \
+                   __FILE__, __LINE__);                                  \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds for hot loops.
+#ifdef NDEBUG
+#define NW_DCHECK(cond) ((void)0)
+#else
+#define NW_DCHECK(cond) NW_CHECK(cond)
+#endif
+
+#endif  // NW_SUPPORT_CHECK_H_

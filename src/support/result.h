@@ -1,0 +1,81 @@
+// Minimal Status/Result vocabulary types (the library avoids exceptions,
+// following the Google style guide and the idiom of Arrow/RocksDB).
+#ifndef NW_SUPPORT_RESULT_H_
+#define NW_SUPPORT_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/check.h"
+
+namespace nw {
+
+/// Error-or-success carrier for operations that can fail on user input
+/// (parsers, format validators). Cheap, non-template core.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status with a human-readable message.
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  /// Message of an error status; empty for OK.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Value-or-error. Dereferencing a non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    NW_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& operator*() const {
+    NW_CHECK_MSG(ok(), "dereferencing failed Result: %s",
+                 status_.message().c_str());
+    return *value_;
+  }
+  T& operator*() {
+    NW_CHECK_MSG(ok(), "dereferencing failed Result: %s",
+                 status_.message().c_str());
+    return *value_;
+  }
+  const T* operator->() const { return &**this; }
+  T* operator->() { return &**this; }
+
+  /// Moves the value out; Result must be OK.
+  T Take() {
+    NW_CHECK(ok());
+    T v = std::move(*value_);
+    value_.reset();
+    return v;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace nw
+
+#endif  // NW_SUPPORT_RESULT_H_

@@ -1,0 +1,41 @@
+// Deterministic, seedable PRNG used by workload generators and property
+// tests. A fixed algorithm (splitmix64 + xoshiro-style mixing) keeps test
+// inputs reproducible across platforms, unlike std::mt19937 distributions.
+#ifndef NW_SUPPORT_RNG_H_
+#define NW_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace nw {
+
+/// splitmix64-based PRNG: tiny state, excellent mixing, reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability `num`/`den`.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace nw
+
+#endif  // NW_SUPPORT_RNG_H_

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the experiment harnesses.
+#ifndef NW_SUPPORT_STOPWATCH_H_
+#define NW_SUPPORT_STOPWATCH_H_
+
+#include <chrono>
+
+namespace nw {
+
+/// Measures elapsed wall-clock time in microseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMs() const { return ElapsedUs() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nw
+
+#endif  // NW_SUPPORT_STOPWATCH_H_

@@ -1,0 +1,59 @@
+#include "support/table.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/check.h"
+
+namespace nw {
+
+void Table::Header(std::vector<std::string> cells) {
+  NW_CHECK_MSG(rows_.empty(), "Header() must be called before Row()");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Row(std::vector<std::string> cells) {
+  NW_CHECK_MSG(!rows_.empty(), "call Header() first");
+  NW_CHECK_MSG(cells.size() == rows_[0].size(),
+               "row has %zu cells, header has %zu", cells.size(),
+               rows_[0].size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  if (rows_.empty()) return;
+  std::vector<size_t> width(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), rows_[r][c].c_str());
+    }
+    std::printf("\n");
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : width) total += w + 2;
+      for (size_t i = 0; i < total; ++i) std::printf("-");
+      std::printf("\n");
+    }
+  }
+  std::fflush(stdout);
+}
+
+std::string Table::Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string Table::Dbl(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace nw

@@ -1,0 +1,41 @@
+// Console table printer used by the benchmark harnesses to reproduce the
+// paper's per-theorem series as aligned rows (the repository's equivalent
+// of the paper's tables/figures).
+#ifndef NW_SUPPORT_TABLE_H_
+#define NW_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace nw {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   Table t("E-THM3: succinctness vs word automata");
+///   t.Header({"s", "nwa_states", "min_dfa_states"});
+///   t.Row({"4", "6", "16"});
+///   t.Print();
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers. Call once, before any Row().
+  void Header(std::vector<std::string> cells);
+  /// Appends a data row; must have as many cells as the header.
+  void Row(std::vector<std::string> cells);
+  /// Writes the table to stdout.
+  void Print() const;
+
+  /// Formats helpers for numeric cells.
+  static std::string Num(uint64_t v);
+  static std::string Dbl(double v, int precision = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header.
+};
+
+}  // namespace nw
+
+#endif  // NW_SUPPORT_TABLE_H_

@@ -1,0 +1,100 @@
+#include "treeauto/stepwise.h"
+
+#include "support/check.h"
+
+namespace nw {
+
+StateId StepwiseTreeAutomaton::AddState(bool is_final) {
+  StateId id = static_cast<StateId>(final_.size());
+  final_.push_back(is_final);
+  if (symbol_state_.empty()) symbol_state_.assign(num_symbols_, kNoState);
+  for (auto& row : combine_) row.push_back(kNoState);
+  combine_.emplace_back(final_.size(), kNoState);
+  return id;
+}
+
+void StepwiseTreeAutomaton::SetCombine(StateId q, StateId child, StateId q2) {
+  NW_DCHECK(q < num_states() && child < num_states() && q2 < num_states());
+  combine_[q][child] = q2;
+}
+
+StateId StepwiseTreeAutomaton::Eval(const TreeNode& n) const {
+  StateId q = symbol_state_[n.label];
+  for (const TreeNode& c : n.children) {
+    if (q == kNoState) return kNoState;
+    StateId child = Eval(c);
+    if (child == kNoState) return kNoState;
+    q = combine_[q][child];
+  }
+  return q;
+}
+
+bool StepwiseTreeAutomaton::AcceptsTree(const OrderedTree& t) const {
+  if (t.IsEmpty()) return false;
+  StateId q = Eval(t.root());
+  return q != kNoState && final_[q];
+}
+
+Nwa StepwiseTreeAutomaton::ToBottomUpNwa() const {
+  // Lemma 1: same states. A call enters the symbol's state pushing the
+  // current state (weak); a return combines the popped state with the
+  // completed subtree's state — the NWA's return may depend on the symbol,
+  // but the stepwise restriction simply ignores it.
+  Nwa out(num_symbols_);
+  for (StateId q = 0; q < num_states(); ++q) out.AddState(final_[q]);
+  // A dedicated initial is needed for the first call at top level; reuse
+  // state 0 as initial if present (tree words never consult δi/δr at it
+  // before a call). To keep the state count equal (Lemma 1), state 0
+  // doubles as the start.
+  NW_CHECK(num_states() > 0);
+  out.set_initial(0);
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      if (symbol_state_[a] != kNoState) {
+        out.SetCall(q, a, symbol_state_[a], q);  // bottom-up: target is
+                                                 // source-independent; weak
+      }
+    }
+    for (StateId h = 0; h < num_states(); ++h) {
+      StateId t = combine_[h][q];
+      if (t == kNoState) continue;
+      for (Symbol a = 0; a < num_symbols_; ++a) {
+        out.SetReturn(q, h, a, t);  // symbol ignored (stepwise)
+      }
+    }
+  }
+  return out;
+}
+
+StateId TopDownTreeAutomaton::AddState() {
+  StateId id = static_cast<StateId>(num_states_++);
+  branch_.resize(num_states_ * num_symbols_, {kNoState, kNoState});
+  leaf_accept_.resize(num_states_ * num_symbols_, false);
+  return id;
+}
+
+void TopDownTreeAutomaton::SetBranch(StateId q, Symbol a, StateId left,
+                                     StateId right) {
+  branch_[q * num_symbols_ + a] = {left, right};
+}
+
+void TopDownTreeAutomaton::SetLeafAccept(StateId q, Symbol a, bool accept) {
+  leaf_accept_[q * num_symbols_ + a] = accept;
+}
+
+bool TopDownTreeAutomaton::Eval(const TreeNode& n, StateId q) const {
+  if (n.children.empty()) {
+    return leaf_accept_[q * num_symbols_ + n.label];
+  }
+  NW_CHECK_MSG(n.children.size() == 2, "top-down automata: binary trees");
+  auto [l, r] = branch_[q * num_symbols_ + n.label];
+  if (l == kNoState) return false;
+  return Eval(n.children[0], l) && Eval(n.children[1], r);
+}
+
+bool TopDownTreeAutomaton::AcceptsTree(const OrderedTree& t) const {
+  if (t.IsEmpty() || initial_ == kNoState) return false;
+  return Eval(t.root(), initial_);
+}
+
+}  // namespace nw

@@ -1,0 +1,82 @@
+// Stepwise bottom-up tree automata (Brüggemann-Klein–Murata–Wood [5],
+// Martens–Niehren [15]; paper §3.4, Lemma 1) and classical top-down tree
+// automata over binary trees (paper §3.5, Lemma 2).
+//
+// A stepwise automaton is exactly a weak bottom-up NWA on tree words whose
+// return function ignores the symbol (the symbol was already consumed at
+// the call). Lemma 1: the NWA view has the *same* number of states.
+#ifndef NW_TREEAUTO_STEPWISE_H_
+#define NW_TREEAUTO_STEPWISE_H_
+
+#include "nwa/nwa.h"
+#include "trees/ordered_tree.h"
+
+namespace nw {
+
+/// Deterministic stepwise bottom-up tree automaton over unranked trees.
+class StepwiseTreeAutomaton {
+ public:
+  explicit StepwiseTreeAutomaton(size_t num_symbols)
+      : num_symbols_(num_symbols) {}
+
+  StateId AddState(bool is_final = false);
+  void set_final(StateId q, bool f = true) { final_[q] = f; }
+
+  /// State entered when an a-labeled node is opened (before children).
+  void SetSymbolState(Symbol a, StateId q) { symbol_state_[a] = q; }
+  /// Combines a node state `q` with a completed-child state `child`.
+  void SetCombine(StateId q, StateId child, StateId q2);
+
+  size_t num_states() const { return final_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// Direct bottom-up evaluation on a tree. The root's resulting state
+  /// must be final.
+  bool AcceptsTree(const OrderedTree& t) const;
+
+  /// Lemma 1: the same automaton as a weak bottom-up NWA with the same
+  /// state count, accepting exactly the tree-word encodings.
+  Nwa ToBottomUpNwa() const;
+
+ private:
+  StateId Eval(const TreeNode& n) const;
+
+  size_t num_symbols_;
+  std::vector<bool> final_;
+  std::vector<StateId> symbol_state_;             // [a]
+  std::vector<std::vector<StateId>> combine_;     // [q][child]
+};
+
+/// Classical deterministic top-down tree automaton over binary trees with
+/// leaf acceptance (paper §3.5, Lemma 2 and Lemma 3).
+class TopDownTreeAutomaton {
+ public:
+  explicit TopDownTreeAutomaton(size_t num_symbols)
+      : num_symbols_(num_symbols) {}
+
+  StateId AddState();
+  void set_initial(StateId q) { initial_ = q; }
+
+  /// δ(q, a) = (left, right) for a binary a-labeled node.
+  void SetBranch(StateId q, Symbol a, StateId left, StateId right);
+  /// Accepting leaf pairs (q, a).
+  void SetLeafAccept(StateId q, Symbol a, bool accept = true);
+
+  size_t num_states() const { return num_states_; }
+
+  /// Top-down evaluation on a binary tree.
+  bool AcceptsTree(const OrderedTree& t) const;
+
+ private:
+  bool Eval(const TreeNode& n, StateId q) const;
+
+  size_t num_symbols_;
+  size_t num_states_ = 0;
+  StateId initial_ = kNoState;
+  std::vector<std::pair<StateId, StateId>> branch_;  // [q*|Σ|+a]
+  std::vector<bool> leaf_accept_;                    // [q*|Σ|+a]
+};
+
+}  // namespace nw
+
+#endif  // NW_TREEAUTO_STEPWISE_H_

@@ -1,0 +1,162 @@
+#include "trees/ordered_tree.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nw {
+namespace {
+
+void Encode(const TreeNode& node, std::vector<TaggedSymbol>* out) {
+  out->push_back(Call(node.label));
+  for (const TreeNode& c : node.children) Encode(c, out);
+  out->push_back(Return(node.label));
+}
+
+size_t CountNodes(const TreeNode& n) {
+  size_t total = 1;
+  for (const TreeNode& c : n.children) total += CountNodes(c);
+  return total;
+}
+
+size_t NodeHeight(const TreeNode& n) {
+  size_t h = 0;
+  for (const TreeNode& c : n.children) h = std::max(h, NodeHeight(c));
+  return h + 1;
+}
+
+// Recursive-descent decoder over a tree word; `pos` points at a call.
+TreeNode Decode(const NestedWord& n, size_t* pos) {
+  NW_DCHECK(n.kind(*pos) == Kind::kCall);
+  TreeNode node;
+  node.label = n.symbol(*pos);
+  ++*pos;
+  while (n.kind(*pos) == Kind::kCall) {
+    node.children.push_back(Decode(n, pos));
+  }
+  NW_DCHECK(n.kind(*pos) == Kind::kReturn);
+  ++*pos;
+  return node;
+}
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  Alphabet* alphabet;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  Result<TreeNode> Node() {
+    SkipWs();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Status::Error("expected symbol name at offset " +
+                           std::to_string(start));
+    }
+    TreeNode node;
+    node.label = alphabet->Intern(text.substr(start, pos - start));
+    SkipWs();
+    if (pos < text.size() && text[pos] == '(') {
+      ++pos;
+      SkipWs();
+      while (pos < text.size() && text[pos] != ')') {
+        Result<TreeNode> child = Node();
+        if (!child.ok()) return child;
+        node.children.push_back(child.Take());
+        SkipWs();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          SkipWs();
+        }
+      }
+      if (pos >= text.size()) return Status::Error("unterminated '('");
+      ++pos;  // consume ')'
+    }
+    return node;
+  }
+};
+
+void Format(const TreeNode& n, const Alphabet& alphabet, std::string* out) {
+  *out += alphabet.Name(n.label);
+  if (!n.children.empty()) {
+    *out += '(';
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) *out += ',';
+      Format(n.children[i], alphabet, out);
+    }
+    *out += ')';
+  }
+}
+
+}  // namespace
+
+OrderedTree OrderedTree::Node(Symbol a, std::vector<OrderedTree> children) {
+  TreeNode node;
+  node.label = a;
+  for (OrderedTree& c : children) {
+    NW_CHECK_MSG(!c.IsEmpty(), "children of a(t1..tn) must be non-empty");
+    node.children.push_back(std::move(*c.root_));
+  }
+  return OrderedTree(std::move(node));
+}
+
+size_t OrderedTree::NodeCount() const {
+  return IsEmpty() ? 0 : CountNodes(*root_);
+}
+
+size_t OrderedTree::Height() const {
+  return IsEmpty() ? 0 : NodeHeight(*root_);
+}
+
+NestedWord TreeToNestedWord(const OrderedTree& t) {
+  std::vector<TaggedSymbol> seq;
+  if (!t.IsEmpty()) {
+    seq.reserve(2 * t.NodeCount());
+    Encode(t.root(), &seq);
+  }
+  return NestedWord(std::move(seq));
+}
+
+Result<OrderedTree> NestedWordToTree(const NestedWord& n) {
+  if (n.empty()) return OrderedTree();
+  if (!n.IsTreeWord()) {
+    return Status::Error("nested word is not a tree word (see §2.3)");
+  }
+  size_t pos = 0;
+  TreeNode root = Decode(n, &pos);
+  if (pos != n.size()) {
+    return Status::Error("trailing positions after root subtree");
+  }
+  return OrderedTree(std::move(root));
+}
+
+Result<OrderedTree> ParseTree(const std::string& text, Alphabet* alphabet) {
+  Parser p{text, 0, alphabet};
+  p.SkipWs();
+  if (p.pos == text.size()) return OrderedTree();  // ε
+  Result<TreeNode> root = p.Node();
+  if (!root.ok()) return root.status();
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    return Status::Error("trailing input after tree term");
+  }
+  return OrderedTree(root.Take());
+}
+
+std::string FormatTree(const OrderedTree& t, const Alphabet& alphabet) {
+  if (t.IsEmpty()) return "";
+  std::string out;
+  Format(t.root(), alphabet, &out);
+  return out;
+}
+
+}  // namespace nw

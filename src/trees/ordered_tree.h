@@ -1,0 +1,74 @@
+// Ordered (unranked) trees and their nested-word encodings (paper §2.3).
+//
+// OT(Σ) is defined inductively: ε is the empty tree, and a(t1,...,tn) is a
+// tree for a ∈ Σ and nonempty trees ti. The codecs below implement the
+// paper's transformations:
+//   t_w  : OT(Σ) → Σ̂*   — traversal printing <a ... a> around each node,
+//   t_nw : OT(Σ) → NW(Σ) — t_w composed with w_nw,
+//   nw_t : TW(Σ) → OT(Σ) — inverse of t_nw on tree words.
+#ifndef NW_TREES_ORDERED_TREE_H_
+#define NW_TREES_ORDERED_TREE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nw/nested_word.h"
+#include "support/result.h"
+
+namespace nw {
+
+/// A non-empty ordered tree node: label plus an ordered child list.
+struct TreeNode {
+  Symbol label = 0;
+  std::vector<TreeNode> children;
+
+  friend bool operator==(const TreeNode&, const TreeNode&) = default;
+};
+
+/// An ordered tree, possibly the empty tree ε.
+class OrderedTree {
+ public:
+  /// The empty tree ε.
+  OrderedTree() = default;
+  /// A tree with the given root node.
+  explicit OrderedTree(TreeNode root) : root_(std::move(root)) {}
+
+  /// Leaf a() — the paper abbreviates its encoding as <a>.
+  static OrderedTree Leaf(Symbol a) { return OrderedTree(TreeNode{a, {}}); }
+  /// Node a(children...); children must be non-empty trees.
+  static OrderedTree Node(Symbol a, std::vector<OrderedTree> children);
+
+  bool IsEmpty() const { return !root_.has_value(); }
+  const TreeNode& root() const { return *root_; }
+
+  /// Number of nodes.
+  size_t NodeCount() const;
+  /// Height: 0 for ε, 1 for a leaf.
+  size_t Height() const;
+
+  friend bool operator==(const OrderedTree&, const OrderedTree&) = default;
+
+ private:
+  std::optional<TreeNode> root_;
+};
+
+/// t_nw (§2.3): encodes a tree as a tree word — rooted, no internals,
+/// matching labels. Each node is visited twice (call + return).
+NestedWord TreeToNestedWord(const OrderedTree& t);
+
+/// nw_t (§2.3): decodes a tree word back to the tree. Errors unless
+/// n.IsTreeWord() (or n is empty, which decodes to ε). Note ε's image is
+/// the empty nested word; single-rooted inputs decode to one-root trees.
+Result<OrderedTree> NestedWordToTree(const NestedWord& n);
+
+/// Parses the paper's term notation "a(a(),b())"; bare leaves "a" are
+/// accepted as sugar for "a()". Whitespace is ignored. Empty input is ε.
+Result<OrderedTree> ParseTree(const std::string& text, Alphabet* alphabet);
+
+/// Prints in term notation; leaves print without parentheses.
+std::string FormatTree(const OrderedTree& t, const Alphabet& alphabet);
+
+}  // namespace nw
+
+#endif  // NW_TREES_ORDERED_TREE_H_

@@ -1,0 +1,91 @@
+// Deterministic finite word automata — the classical baseline the paper
+// compares nested word automata against (Theorems 2, 3, 8; intro query).
+//
+// DFAs here run over an abstract dense symbol domain 0..num_symbols-1. To
+// run over the tagged alphabet Σ̂ (§2.2) use TaggedIndex() to map the 3·|Σ|
+// tagged letters onto dense ids.
+#ifndef NW_WORDAUTO_DFA_H_
+#define NW_WORDAUTO_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nw/nested_word.h"
+
+namespace nw {
+
+/// Dense automaton state id.
+using StateId = uint32_t;
+/// Sentinel meaning "no transition" (implicit reject) or "no state".
+inline constexpr StateId kNoState = UINT32_MAX;
+
+/// Maps a tagged letter to a dense id in [0, 3·num_symbols):
+/// internals first, then calls, then returns.
+inline Symbol TaggedIndex(TaggedSymbol t, size_t num_symbols) {
+  return static_cast<Symbol>(t.kind) * static_cast<Symbol>(num_symbols) +
+         t.symbol;
+}
+
+/// Number of letters of the tagged alphabet Σ̂ for |Σ| = num_symbols.
+inline size_t TaggedAlphabetSize(size_t num_symbols) {
+  return 3 * num_symbols;
+}
+
+/// A (possibly partial) deterministic finite automaton.
+class Dfa {
+ public:
+  /// Creates a DFA with no states over a `num_symbols`-letter alphabet.
+  explicit Dfa(size_t num_symbols) : num_symbols_(num_symbols) {}
+
+  /// Adds a state; returns its id. The first state added is NOT
+  /// automatically initial; call set_initial.
+  StateId AddState(bool is_final = false);
+
+  void set_initial(StateId q) { initial_ = q; }
+  StateId initial() const { return initial_; }
+  void set_final(StateId q, bool f = true) { final_[q] = f; }
+  bool is_final(StateId q) const { return final_[q]; }
+
+  size_t num_states() const { return final_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// Defines δ(q, a) = q2 (overwrites).
+  void SetTransition(StateId q, Symbol a, StateId q2);
+  /// δ(q, a), or kNoState when undefined.
+  StateId Next(StateId q, Symbol a) const {
+    return delta_[q * num_symbols_ + a];
+  }
+
+  /// Runs the automaton; missing transitions reject.
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  /// Runs over the tagged encoding of a nested word (alphabet must be Σ̂,
+  /// i.e. num_symbols() == 3·|Σ|).
+  bool AcceptsTagged(const NestedWord& n) const;
+
+  /// Returns an equivalent total DFA (adds a dead state if any transition
+  /// is missing; otherwise returns *this unchanged).
+  Dfa Totalize() const;
+
+  /// Minimal equivalent *total* DFA (Hopcroft's algorithm on the reachable
+  /// part). State count includes the dead state when the language is not
+  /// total-safe; the paper's lower bounds are stated as "at least 2^s
+  /// states", which this measures conservatively.
+  Dfa Minimize() const;
+
+  /// True iff no reachable final state.
+  bool IsEmpty() const;
+
+  /// Language equivalence via product of minimized automata.
+  static bool Equivalent(const Dfa& a, const Dfa& b);
+
+ private:
+  size_t num_symbols_;
+  StateId initial_ = kNoState;
+  std::vector<bool> final_;
+  std::vector<StateId> delta_;
+};
+
+}  // namespace nw
+
+#endif  // NW_WORDAUTO_DFA_H_

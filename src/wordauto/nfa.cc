@@ -1,0 +1,118 @@
+#include "wordauto/nfa.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace nw {
+
+StateId Nfa::AddState(bool is_final) {
+  StateId id = static_cast<StateId>(final_.size());
+  final_.push_back(is_final);
+  delta_.resize(delta_.size() + num_symbols_);
+  eps_.emplace_back();
+  return id;
+}
+
+void Nfa::AddTransition(StateId q, Symbol a, StateId q2) {
+  NW_DCHECK(q < num_states() && a < num_symbols_ && q2 < num_states());
+  delta_[q * num_symbols_ + a].push_back(q2);
+}
+
+void Nfa::AddEpsilon(StateId q, StateId q2) { eps_[q].push_back(q2); }
+
+std::vector<StateId> Nfa::Closure(std::vector<StateId> set) const {
+  std::vector<bool> in(num_states(), false);
+  std::vector<StateId> stack;
+  for (StateId q : set) {
+    if (!in[q]) {
+      in[q] = true;
+      stack.push_back(q);
+    }
+  }
+  std::vector<StateId> out;
+  while (!stack.empty()) {
+    StateId q = stack.back();
+    stack.pop_back();
+    out.push_back(q);
+    for (StateId t : eps_[q]) {
+      if (!in[t]) {
+        in[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Nfa::Accepts(const std::vector<Symbol>& word) const {
+  std::vector<StateId> cur = Closure(initial_);
+  for (Symbol a : word) {
+    std::vector<StateId> next;
+    for (StateId q : cur) {
+      const auto& ts = Next(q, a);
+      next.insert(next.end(), ts.begin(), ts.end());
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    cur = Closure(std::move(next));
+    if (cur.empty()) return false;
+  }
+  return std::any_of(cur.begin(), cur.end(),
+                     [&](StateId q) { return final_[q]; });
+}
+
+Dfa Nfa::Determinize() const {
+  Dfa out(num_symbols_);
+  std::map<std::vector<StateId>, StateId> ids;
+  std::vector<std::vector<StateId>> order;
+
+  auto intern = [&](std::vector<StateId> set) -> StateId {
+    auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    bool fin = std::any_of(set.begin(), set.end(),
+                           [&](StateId q) { return final_[q]; });
+    StateId id = out.AddState(fin);
+    ids.emplace(set, id);
+    order.push_back(std::move(set));
+    return id;
+  };
+
+  StateId start = intern(Closure(initial_));
+  out.set_initial(start);
+  for (size_t i = 0; i < order.size(); ++i) {
+    // Copy: `order` may reallocate as new subsets are interned.
+    std::vector<StateId> cur = order[i];
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      std::vector<StateId> next;
+      for (StateId q : cur) {
+        const auto& ts = Next(q, a);
+        next.insert(next.end(), ts.begin(), ts.end());
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      next = Closure(std::move(next));
+      StateId tid = intern(std::move(next));
+      out.SetTransition(static_cast<StateId>(i), a, tid);
+    }
+  }
+  return out;
+}
+
+Nfa Nfa::Reversed() const {
+  Nfa out(num_symbols_);
+  for (StateId q = 0; q < num_states(); ++q) out.AddState(false);
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      for (StateId t : Next(q, a)) out.AddTransition(t, a, q);
+    }
+    for (StateId t : Epsilon(q)) out.AddEpsilon(t, q);
+    if (final_[q]) out.AddInitial(q);
+  }
+  for (StateId q : initial_) out.set_final(q);
+  return out;
+}
+
+}  // namespace nw

@@ -1,0 +1,58 @@
+// Nondeterministic finite word automata with ε-moves, subset construction,
+// and standard combinators. Substrate for regex compilation and for the
+// word-automaton baselines.
+#ifndef NW_WORDAUTO_NFA_H_
+#define NW_WORDAUTO_NFA_H_
+
+#include <vector>
+
+#include "wordauto/dfa.h"
+
+namespace nw {
+
+/// A nondeterministic finite automaton with ε-transitions.
+class Nfa {
+ public:
+  explicit Nfa(size_t num_symbols) : num_symbols_(num_symbols) {}
+
+  StateId AddState(bool is_final = false);
+  void AddInitial(StateId q) { initial_.push_back(q); }
+  void set_final(StateId q, bool f = true) { final_[q] = f; }
+  bool is_final(StateId q) const { return final_[q]; }
+
+  size_t num_states() const { return final_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+  const std::vector<StateId>& initial() const { return initial_; }
+
+  /// Adds q --a--> q2.
+  void AddTransition(StateId q, Symbol a, StateId q2);
+  /// Adds q --ε--> q2.
+  void AddEpsilon(StateId q, StateId q2);
+
+  const std::vector<StateId>& Next(StateId q, Symbol a) const {
+    return delta_[q * num_symbols_ + a];
+  }
+  const std::vector<StateId>& Epsilon(StateId q) const { return eps_[q]; }
+
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  /// Subset construction (reachable part only).
+  Dfa Determinize() const;
+
+  /// Reverses the language: reversed transitions, initial and final swapped.
+  Nfa Reversed() const;
+
+ private:
+  /// ε-closure of a sorted state set, returned sorted and deduplicated.
+  std::vector<StateId> Closure(std::vector<StateId> set) const;
+
+  size_t num_symbols_;
+  std::vector<StateId> initial_;
+  std::vector<bool> final_;
+  std::vector<std::vector<StateId>> delta_;
+  std::vector<std::vector<StateId>> eps_;
+};
+
+}  // namespace nw
+
+#endif  // NW_WORDAUTO_NFA_H_

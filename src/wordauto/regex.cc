@@ -1,0 +1,91 @@
+#include "wordauto/regex.h"
+
+#include "support/check.h"
+
+namespace nw {
+
+Regex Regex::Empty() {
+  return Regex(std::make_shared<Node>(Node{Op::kEmpty, 0, 0, nullptr, nullptr}));
+}
+Regex Regex::Eps() {
+  return Regex(std::make_shared<Node>(Node{Op::kEps, 0, 0, nullptr, nullptr}));
+}
+Regex Regex::Sym(Symbol a) {
+  return Regex(std::make_shared<Node>(Node{Op::kSym, a, 0, nullptr, nullptr}));
+}
+Regex Regex::Any(size_t num_symbols) {
+  return Regex(
+      std::make_shared<Node>(Node{Op::kAny, 0, num_symbols, nullptr, nullptr}));
+}
+Regex Regex::Cat(Regex r1, Regex r2) {
+  return Regex(std::make_shared<Node>(
+      Node{Op::kCat, 0, 0, std::move(r1.node_), std::move(r2.node_)}));
+}
+Regex Regex::Alt(Regex r1, Regex r2) {
+  return Regex(std::make_shared<Node>(
+      Node{Op::kAlt, 0, 0, std::move(r1.node_), std::move(r2.node_)}));
+}
+Regex Regex::Star(Regex r) {
+  return Regex(std::make_shared<Node>(
+      Node{Op::kStar, 0, 0, std::move(r.node_), nullptr}));
+}
+Regex Regex::Word(const std::vector<Symbol>& word) {
+  Regex r = Eps();
+  for (Symbol a : word) r = Cat(std::move(r), Sym(a));
+  return r;
+}
+
+std::pair<StateId, StateId> Regex::Build(const Node& n, Nfa* nfa) {
+  StateId in = nfa->AddState();
+  StateId out = nfa->AddState();
+  switch (n.op) {
+    case Op::kEmpty:
+      break;  // no path from in to out
+    case Op::kEps:
+      nfa->AddEpsilon(in, out);
+      break;
+    case Op::kSym:
+      nfa->AddTransition(in, n.sym, out);
+      break;
+    case Op::kAny:
+      for (Symbol a = 0; a < n.any_width; ++a) nfa->AddTransition(in, a, out);
+      break;
+    case Op::kCat: {
+      auto [li, lo] = Build(*n.left, nfa);
+      auto [ri, ro] = Build(*n.right, nfa);
+      nfa->AddEpsilon(in, li);
+      nfa->AddEpsilon(lo, ri);
+      nfa->AddEpsilon(ro, out);
+      break;
+    }
+    case Op::kAlt: {
+      auto [li, lo] = Build(*n.left, nfa);
+      auto [ri, ro] = Build(*n.right, nfa);
+      nfa->AddEpsilon(in, li);
+      nfa->AddEpsilon(in, ri);
+      nfa->AddEpsilon(lo, out);
+      nfa->AddEpsilon(ro, out);
+      break;
+    }
+    case Op::kStar: {
+      auto [li, lo] = Build(*n.left, nfa);
+      nfa->AddEpsilon(in, out);
+      nfa->AddEpsilon(in, li);
+      nfa->AddEpsilon(lo, li);
+      nfa->AddEpsilon(lo, out);
+      break;
+    }
+  }
+  return {in, out};
+}
+
+Nfa Regex::Compile(size_t num_symbols) const {
+  NW_CHECK(node_ != nullptr);
+  Nfa nfa(num_symbols);
+  auto [in, out] = Build(*node_, &nfa);
+  nfa.AddInitial(in);
+  nfa.set_final(out);
+  return nfa;
+}
+
+}  // namespace nw

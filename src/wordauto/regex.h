@@ -1,0 +1,56 @@
+// A small regular-expression combinator library with Thompson compilation
+// to NFA. Used to express the paper's linear-order queries, e.g. the
+// introduction's Σ*p1Σ*...pnΣ* pattern-order query.
+#ifndef NW_WORDAUTO_REGEX_H_
+#define NW_WORDAUTO_REGEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "wordauto/nfa.h"
+
+namespace nw {
+
+/// An immutable regular expression tree. Build with the static combinators;
+/// share freely (nodes are refcounted).
+class Regex {
+ public:
+  /// ∅ — the empty language.
+  static Regex Empty();
+  /// ε — the empty word.
+  static Regex Eps();
+  /// A single symbol.
+  static Regex Sym(Symbol a);
+  /// Any single symbol of a `num_symbols` alphabet (Σ as a regex).
+  static Regex Any(size_t num_symbols);
+  /// Concatenation r1 · r2.
+  static Regex Cat(Regex r1, Regex r2);
+  /// Alternation r1 | r2.
+  static Regex Alt(Regex r1, Regex r2);
+  /// Kleene star r*.
+  static Regex Star(Regex r);
+  /// Literal word a1 a2 ... ak.
+  static Regex Word(const std::vector<Symbol>& word);
+
+  /// Thompson construction over a `num_symbols` alphabet.
+  Nfa Compile(size_t num_symbols) const;
+
+ private:
+  enum class Op { kEmpty, kEps, kSym, kAny, kCat, kAlt, kStar };
+  struct Node {
+    Op op;
+    Symbol sym = 0;
+    size_t any_width = 0;
+    std::shared_ptr<const Node> left, right;
+  };
+  explicit Regex(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+
+  // Returns (entry, exit) state pair of the compiled fragment.
+  static std::pair<StateId, StateId> Build(const Node& n, Nfa* nfa);
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace nw
+
+#endif  // NW_WORDAUTO_REGEX_H_

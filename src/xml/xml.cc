@@ -1,0 +1,191 @@
+#include "xml/xml.h"
+
+#include <cctype>
+
+#include "support/check.h"
+
+namespace nw {
+
+NestedWord XmlToNestedWord(const std::string& text, Alphabet* alphabet) {
+  NestedWord out;
+  Symbol text_sym = alphabet->Intern("#text");
+  size_t i = 0;
+  auto read_name = [&](size_t* pos) {
+    size_t start = *pos;
+    while (*pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[*pos])) ||
+            text[*pos] == '_' || text[*pos] == '-')) {
+      ++*pos;
+    }
+    return text.substr(start, *pos - start);
+  };
+  while (i < text.size()) {
+    if (text[i] == '<') {
+      if (i + 1 < text.size() && text[i + 1] == '/') {
+        size_t j = i + 2;
+        std::string name = read_name(&j);
+        while (j < text.size() && text[j] != '>') ++j;
+        if (j < text.size()) ++j;
+        out.Push(Return(alphabet->Intern(name)));
+        i = j;
+      } else {
+        size_t j = i + 1;
+        std::string name = read_name(&j);
+        bool self_closing = false;
+        while (j < text.size() && text[j] != '>') {
+          if (text[j] == '/') self_closing = true;
+          ++j;
+        }
+        if (j < text.size()) ++j;
+        Symbol s = alphabet->Intern(name);
+        out.Push(Call(s));
+        if (self_closing) out.Push(Return(s));
+        i = j;
+      }
+    } else {
+      size_t j = i;
+      bool nonspace = false;
+      while (j < text.size() && text[j] != '<') {
+        nonspace = nonspace ||
+                   !std::isspace(static_cast<unsigned char>(text[j]));
+        ++j;
+      }
+      if (nonspace) out.Push(Internal(text_sym));
+      i = j;
+    }
+  }
+  return out;
+}
+
+std::string NestedWordToXml(const NestedWord& n, const Alphabet& alphabet) {
+  std::string out;
+  for (size_t i = 0; i < n.size(); ++i) {
+    switch (n.kind(i)) {
+      case Kind::kCall:
+        out += "<" + alphabet.Name(n.symbol(i)) + ">";
+        break;
+      case Kind::kReturn:
+        out += "</" + alphabet.Name(n.symbol(i)) + ">";
+        break;
+      case Kind::kInternal:
+        out += ".";
+        break;
+    }
+  }
+  return out;
+}
+
+Nwa WellFormedChecker(size_t num_symbols) {
+  // Hierarchical carriers hold the open tag's name (mismatched close tags
+  // find no transition); a bottom marker makes pending returns reject; and
+  // since NWA acceptance cannot see the stack, "no pending opens" is
+  // carried through the run by the empty/open state split with per-origin
+  // frames (the Theorem 6 pattern).
+  Nwa b(num_symbols);
+  StateId empty = b.AddState(true);
+  StateId open = b.AddState(false);
+  StateId bot = b.AddState(false);
+  b.set_initial(empty);
+  b.set_hier_initial(bot);
+  std::vector<StateId> from_empty(num_symbols), from_open(num_symbols);
+  for (Symbol s = 0; s < num_symbols; ++s) {
+    from_empty[s] = b.AddState(false);
+    from_open[s] = b.AddState(false);
+  }
+  for (Symbol s = 0; s < num_symbols; ++s) {
+    b.SetInternal(empty, s, empty);
+    b.SetInternal(open, s, open);
+    b.SetCall(empty, s, open, from_empty[s]);
+    b.SetCall(open, s, open, from_open[s]);
+    b.SetReturn(open, from_empty[s], s, empty);
+    b.SetReturn(open, from_open[s], s, open);
+  }
+  return b;
+}
+
+Nwa PatternOrderQuery(const std::vector<Symbol>& patterns,
+                      size_t num_symbols) {
+  // Flat automaton: progress counter 0..n; advance when the next wanted
+  // name opens. Linear in the number of patterns.
+  Nwa a(num_symbols);
+  const size_t n = patterns.size();
+  std::vector<StateId> st(n + 1);
+  for (size_t i = 0; i <= n; ++i) st[i] = a.AddState(i == n);
+  a.set_initial(st[0]);
+  for (size_t i = 0; i <= n; ++i) {
+    for (Symbol s = 0; s < num_symbols; ++s) {
+      StateId next = (i < n && s == patterns[i]) ? st[i + 1] : st[i];
+      a.SetInternal(st[i], s, st[i]);
+      a.SetCall(st[i], s, next, st[0]);  // flat: push q0
+      a.SetReturn(st[i], st[0], s, st[i]);
+    }
+  }
+  return a;
+}
+
+Nwa MinDepthQuery(size_t k, size_t num_symbols) {
+  // Count current depth up to k; once k is reached, latch acceptance.
+  Nwa a(num_symbols);
+  std::vector<StateId> up(k + 1);
+  for (size_t d = 0; d <= k; ++d) up[d] = a.AddState(d == k);
+  StateId latched = up[k];
+  a.set_initial(up[0]);
+  // Hierarchical edges carry the depth at the call, restoring it at the
+  // return; the latch state ignores structure.
+  for (size_t d = 0; d < k; ++d) {
+    for (Symbol s = 0; s < num_symbols; ++s) {
+      a.SetInternal(up[d], s, up[d]);
+      a.SetCall(up[d], s, d + 1 == k ? latched : up[d + 1], up[d]);
+      if (d >= 1) {
+        // Matched return: restore the caller's depth.
+        a.SetReturn(up[d], up[d - 1], s, up[d - 1]);
+      } else {
+        // Pending return at top level (frame is the hierarchical initial).
+        a.SetReturn(up[0], up[0], s, up[0]);
+      }
+    }
+  }
+  for (Symbol s = 0; s < num_symbols; ++s) {
+    a.SetInternal(latched, s, latched);
+    a.SetCall(latched, s, latched, latched);
+    for (size_t d = 0; d <= k; ++d) {
+      a.SetReturn(latched, up[d], s, latched);
+    }
+  }
+  return a;
+}
+
+std::string RandomXmlDocument(Rng* rng, const Alphabet& alphabet,
+                              size_t approx_positions, size_t max_depth) {
+  std::string out;
+  std::vector<Symbol> stack;
+  size_t emitted = 0;
+  // Skip the "#text" pseudo-symbol when choosing element names.
+  auto name = [&](Symbol s) { return alphabet.Name(s); };
+  std::vector<Symbol> elems;
+  for (Symbol s = 0; s < alphabet.size(); ++s) {
+    if (alphabet.Name(s) != "#text") elems.push_back(s);
+  }
+  NW_CHECK(!elems.empty());
+  while (emitted < approx_positions || !stack.empty()) {
+    uint64_t pick = rng->Below(4);
+    bool must_close = emitted >= approx_positions ||
+                      stack.size() >= max_depth;
+    if (!must_close && (pick == 0 || stack.empty())) {
+      Symbol s = elems[rng->Below(elems.size())];
+      out += "<" + name(s) + ">";
+      stack.push_back(s);
+      ++emitted;
+    } else if (pick == 1 && !stack.empty() && !must_close) {
+      out += "text";
+      ++emitted;
+    } else if (!stack.empty()) {
+      out += "</" + name(stack.back()) + ">";
+      stack.pop_back();
+      ++emitted;
+    }
+  }
+  return out;
+}
+
+}  // namespace nw

@@ -1,0 +1,53 @@
+// SAX-style XML bridging (paper §1–§2.2): "since the SAX representation of
+// XML documents already contains tags that specify the position type, they
+// can be interpreted as nested words without any preprocessing."
+//
+// The tokenizer maps open-tags to calls, close-tags to returns, and text
+// chunks to internal positions — including documents that do not parse
+// (mismatched or unclosed tags), which is exactly the representational
+// advantage the paper argues for.
+#ifndef NW_XML_XML_H_
+#define NW_XML_XML_H_
+
+#include <string>
+
+#include "nw/nested_word.h"
+#include "nwa/nwa.h"
+#include "support/rng.h"
+
+namespace nw {
+
+/// Tokenizes `text` into a nested word. Element names are interned into
+/// `*alphabet`; all text chunks intern as the pseudo-symbol "#text".
+/// Attributes are skipped; malformed input never fails — stray close tags
+/// become pending returns, unclosed opens pending calls.
+NestedWord XmlToNestedWord(const std::string& text, Alphabet* alphabet);
+
+/// Renders a nested word back to XML-ish text (internal positions render
+/// as "."), for debugging and the examples.
+std::string NestedWordToXml(const NestedWord& n, const Alphabet& alphabet);
+
+/// Deterministic NWA accepting exactly the well-formed documents over the
+/// given alphabet: every open tag is closed by a matching name and nothing
+/// is pending. Uses hierarchical edges to carry the open tag's name —
+/// the canonical "word automata cannot, NWAs can" query.
+Nwa WellFormedChecker(size_t num_symbols);
+
+/// Deterministic flat NWA for the introduction's pattern-order query:
+/// element names p1, ..., pn occur (as open tags) in document order.
+/// Linear size in the number of patterns (the intro's claim).
+Nwa PatternOrderQuery(const std::vector<Symbol>& patterns,
+                      size_t num_symbols);
+
+/// Deterministic NWA accepting documents whose nesting depth reaches at
+/// least `k` (k+2 states; a word automaton cannot express this at all).
+Nwa MinDepthQuery(size_t k, size_t num_symbols);
+
+/// Synthetic XML document generator: a random tree document with the
+/// given approximate size (in positions) and maximum depth.
+std::string RandomXmlDocument(Rng* rng, const Alphabet& alphabet,
+                              size_t approx_positions, size_t max_depth);
+
+}  // namespace nw
+
+#endif  // NW_XML_XML_H_

@@ -1,0 +1,172 @@
+// Tests for the decision procedures (§3.2): emptiness with validated
+// witnesses, inclusion, and equivalence.
+#include "nwa/decision.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "nwa/families.h"
+#include "nwa/language_ops.h"
+#include "nwa/transforms.h"
+#include "nwa/nwa.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+Nnwa EmptyLang() {
+  Nnwa n(2);
+  StateId q = n.AddState(false);
+  n.AddInitial(q);
+  n.AddHierInitial(q);
+  return n;
+}
+
+TEST(Emptiness, TrivialCases) {
+  EXPECT_TRUE(IsEmpty(EmptyLang()));
+  Nnwa eps(2);
+  StateId q = eps.AddState(true);
+  eps.AddInitial(q);
+  eps.AddHierInitial(q);
+  EmptinessResult r = CheckEmptiness(eps);
+  EXPECT_FALSE(r.empty);
+  EXPECT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(r.witness->empty());  // ε is the witness
+}
+
+TEST(Emptiness, WitnessesAreValid) {
+  // Every non-empty family automaton yields a witness its runner accepts.
+  std::vector<Nnwa> autos;
+  autos.push_back(Nnwa::FromNwa(Thm3PathNwa(3)));
+  autos.push_back(Nnwa::FromNwa(Thm5FlatNwa(2)));
+  autos.push_back(Nnwa::FromNwa(Thm6Nwa()));
+  autos.push_back(Nnwa::FromNwa(Thm8PathNwa(2)));
+  for (size_t i = 0; i < autos.size(); ++i) {
+    EmptinessResult r = CheckEmptiness(autos[i]);
+    ASSERT_FALSE(r.empty) << i;
+    ASSERT_TRUE(r.witness.has_value()) << i;
+    EXPECT_TRUE(autos[i].Accepts(*r.witness)) << "automaton " << i;
+  }
+}
+
+TEST(Emptiness, PendingEdgeWitnesses) {
+  // Language requiring a pending return followed by a pending call.
+  Nnwa n(1);
+  StateId q0 = n.AddState(false);
+  StateId q1 = n.AddState(false);
+  StateId q2 = n.AddState(true);
+  StateId h = n.AddState(false);
+  n.AddInitial(q0);
+  n.AddHierInitial(q0);
+  n.AddReturn(q0, q0, 0, q1);
+  n.AddCall(q1, 0, q2, h);
+  EmptinessResult r = CheckEmptiness(n);
+  ASSERT_FALSE(r.empty);
+  EXPECT_TRUE(n.Accepts(*r.witness));
+  EXPECT_EQ(r.witness->size(), 2u);
+  EXPECT_EQ(r.witness->kind(0), Kind::kReturn);
+  EXPECT_EQ(r.witness->kind(1), Kind::kCall);
+}
+
+TEST(Emptiness, DeepWitness) {
+  // Thm 3 with s = 4: the shortest member has length 8 and depth 4; the
+  // witness must be a member.
+  Nnwa n = Nnwa::FromNwa(Thm3PathNwa(4));
+  EmptinessResult r = CheckEmptiness(n);
+  ASSERT_FALSE(r.empty);
+  EXPECT_TRUE(Thm3Member(*r.witness, 4));
+}
+
+TEST(Emptiness, IntersectionOfDisjointFamiliesIsEmpty) {
+  // Thm3 members all have even length 2s; intersecting s=2 and s=3
+  // variants gives ∅.
+  Nnwa a = Nnwa::FromNwa(Thm3PathNwa(2));
+  Nnwa b = Nnwa::FromNwa(Thm3PathNwa(3));
+  EXPECT_TRUE(IsEmpty(Intersect(a, b)));
+}
+
+TEST(Emptiness, RandomAutomataWitnessSoundness) {
+  Rng rng(77);
+  int nonempty = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t states = 4;
+    Nnwa n(2);
+    for (size_t i = 0; i < states; ++i) n.AddState(rng.Chance(1, 4));
+    n.AddInitial(static_cast<StateId>(rng.Below(states)));
+    n.AddHierInitial(static_cast<StateId>(rng.Below(states)));
+    for (int t = 0; t < 6; ++t) {
+      StateId q = static_cast<StateId>(rng.Below(states));
+      Symbol c = static_cast<Symbol>(rng.Below(2));
+      switch (rng.Below(3)) {
+        case 0:
+          n.AddInternal(q, c, static_cast<StateId>(rng.Below(states)));
+          break;
+        case 1:
+          n.AddCall(q, c, static_cast<StateId>(rng.Below(states)),
+                    static_cast<StateId>(rng.Below(states)));
+          break;
+        default:
+          n.AddReturn(q, static_cast<StateId>(rng.Below(states)), c,
+                      static_cast<StateId>(rng.Below(states)));
+      }
+    }
+    EmptinessResult r = CheckEmptiness(n);
+    if (!r.empty) {
+      ++nonempty;
+      ASSERT_TRUE(r.witness.has_value());
+      EXPECT_TRUE(n.Accepts(*r.witness)) << "trial " << trial;
+    } else {
+      // Cross-check emptiness against exhaustive short words.
+      for (size_t len = 0; len <= 4; ++len) {
+        for (const NestedWord& w : EnumerateNestedWords(2, len)) {
+          ASSERT_FALSE(n.Accepts(w)) << "claimed empty, trial " << trial;
+        }
+      }
+    }
+  }
+  EXPECT_GT(nonempty, 3);  // the sampler produces both outcomes
+}
+
+TEST(Inclusion, FamilyRelations) {
+  // Thm3(s) ⊆ Thm3(s) and incomparable across distinct s.
+  Nnwa a = Nnwa::FromNwa(Thm3PathNwa(2));
+  Nnwa b = Nnwa::FromNwa(Thm3PathNwa(3));
+  EXPECT_TRUE(CheckInclusion(a, a).included);
+  InclusionResult ab = CheckInclusion(a, b);
+  EXPECT_FALSE(ab.included);
+  ASSERT_TRUE(ab.counterexample.has_value());
+  EXPECT_TRUE(a.Accepts(*ab.counterexample));
+  EXPECT_FALSE(b.Accepts(*ab.counterexample));
+}
+
+TEST(Inclusion, SubsetViaIntersection) {
+  // L ∩ L' ⊆ L and ⊆ L'.
+  Nnwa a = Nnwa::FromNwa(Thm6Nwa());
+  Nnwa b = Nnwa::FromNwa(Thm3PathNwa(2));
+  Nnwa both = Intersect(a, b);
+  EXPECT_TRUE(CheckInclusion(both, a).included);
+  EXPECT_TRUE(CheckInclusion(both, b).included);
+}
+
+TEST(Equivalence, TransformsAreEquivalent) {
+  // Thm 1 as a *decision-procedure* check rather than sampling: the weak
+  // form is language-equivalent to the original.
+  Nwa a = Thm3PathNwa(2);
+  Nnwa orig = Nnwa::FromNwa(a);
+  Nnwa weak = Nnwa::FromNwa(ToWeak(a));
+  EquivalenceResult r = CheckEquivalence(orig, weak);
+  EXPECT_TRUE(r.equivalent) << (r.separator.has_value() ? "separator found"
+                                                        : "");
+}
+
+TEST(Equivalence, SeparatorIsValid) {
+  Nnwa a = Nnwa::FromNwa(Thm3PathNwa(2));
+  Nnwa b = Nnwa::FromNwa(Thm6Nwa());
+  EquivalenceResult r = CheckEquivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_TRUE(r.separator.has_value());
+  EXPECT_NE(a.Accepts(*r.separator), b.Accepts(*r.separator));
+}
+
+}  // namespace
+}  // namespace nw

@@ -1,0 +1,164 @@
+// Tests for the DFA substrate: run semantics, totalization, Hopcroft
+// minimization, emptiness, and equivalence.
+#include "wordauto/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+// DFA over {0,1} accepting words with an even number of 1s.
+Dfa EvenOnes() {
+  Dfa d(2);
+  StateId even = d.AddState(true);
+  StateId odd = d.AddState(false);
+  d.set_initial(even);
+  d.SetTransition(even, 0, even);
+  d.SetTransition(even, 1, odd);
+  d.SetTransition(odd, 0, odd);
+  d.SetTransition(odd, 1, even);
+  return d;
+}
+
+TEST(Dfa, RunSemantics) {
+  Dfa d = EvenOnes();
+  EXPECT_TRUE(d.Accepts({}));
+  EXPECT_TRUE(d.Accepts({1, 1}));
+  EXPECT_FALSE(d.Accepts({1, 0, 0}));
+  EXPECT_TRUE(d.Accepts({0, 1, 0, 1}));
+}
+
+TEST(Dfa, PartialRejectsOnMissingTransition) {
+  Dfa d(2);
+  StateId q0 = d.AddState(false);
+  StateId q1 = d.AddState(true);
+  d.set_initial(q0);
+  d.SetTransition(q0, 0, q1);
+  EXPECT_TRUE(d.Accepts({0}));
+  EXPECT_FALSE(d.Accepts({1}));
+  EXPECT_FALSE(d.Accepts({0, 0}));
+}
+
+TEST(Dfa, TotalizeAddsDeadState) {
+  Dfa d(2);
+  StateId q0 = d.AddState(true);
+  d.set_initial(q0);
+  d.SetTransition(q0, 0, q0);
+  Dfa t = d.Totalize();
+  EXPECT_EQ(t.num_states(), 2u);
+  for (StateId q = 0; q < t.num_states(); ++q) {
+    for (Symbol a = 0; a < 2; ++a) EXPECT_NE(t.Next(q, a), kNoState);
+  }
+  EXPECT_TRUE(Dfa::Equivalent(d, t));
+}
+
+TEST(Dfa, MinimizeCollapsesEquivalentStates) {
+  // Build even-ones with redundant duplicated states.
+  Dfa d(2);
+  StateId e1 = d.AddState(true);
+  StateId e2 = d.AddState(true);
+  StateId o1 = d.AddState(false);
+  StateId o2 = d.AddState(false);
+  d.set_initial(e1);
+  d.SetTransition(e1, 0, e2);
+  d.SetTransition(e1, 1, o1);
+  d.SetTransition(e2, 0, e1);
+  d.SetTransition(e2, 1, o2);
+  d.SetTransition(o1, 0, o2);
+  d.SetTransition(o1, 1, e1);
+  d.SetTransition(o2, 0, o1);
+  d.SetTransition(o2, 1, e2);
+  Dfa m = d.Minimize();
+  EXPECT_EQ(m.num_states(), 2u);
+  EXPECT_TRUE(Dfa::Equivalent(m, EvenOnes()));
+}
+
+TEST(Dfa, MinimizeDropsUnreachable) {
+  Dfa d = EvenOnes();
+  StateId junk = d.AddState(true);
+  d.SetTransition(junk, 0, junk);
+  d.SetTransition(junk, 1, junk);
+  Dfa m = d.Minimize();
+  EXPECT_EQ(m.num_states(), 2u);
+}
+
+TEST(Dfa, MinimizeEmptyLanguageIsOneState) {
+  Dfa d(2);
+  StateId q0 = d.AddState(false);
+  StateId q1 = d.AddState(false);
+  d.set_initial(q0);
+  d.SetTransition(q0, 0, q1);
+  Dfa m = d.Minimize();
+  EXPECT_EQ(m.num_states(), 1u);
+  EXPECT_TRUE(m.IsEmpty());
+}
+
+TEST(Dfa, MinimalSizeOfLastSymbolLanguage) {
+  // The classic 2^s witness: words over {0,1} whose (s+1)-th symbol from
+  // the end is 1 need 2^s DFA states. Build the naive (s+1)-window DFA and
+  // check Minimize reports exactly 2^{s+1} - ... — here we verify the
+  // known minimal count 2^{s+1} for the "remember last s+1 bits" automaton
+  // restricted to the language's Myhill–Nerode classes: 2^{s+1}... For the
+  // canonical statement we check s = 3: minimal DFA has 2^4 = 16 states.
+  const int s = 3;
+  const int window = s + 1;
+  // States: all bit-windows of length `window` (plus shorter prefixes
+  // encoded by padding with 0s — prefix shorter than window cannot accept).
+  Dfa d(2);
+  const StateId n = 1u << window;
+  for (StateId q = 0; q < n; ++q) {
+    d.AddState((q >> s) & 1);  // oldest bit in window == 1 → accept
+  }
+  d.set_initial(0);
+  for (StateId q = 0; q < n; ++q) {
+    for (Symbol a = 0; a < 2; ++a) {
+      d.SetTransition(q, a, ((q << 1) | a) & (n - 1));
+    }
+  }
+  Dfa m = d.Minimize();
+  EXPECT_EQ(m.num_states(), n);
+}
+
+TEST(Dfa, EquivalenceDistinguishes) {
+  Dfa even = EvenOnes();
+  Dfa odd = EvenOnes();
+  odd.set_final(0, false);
+  odd.set_final(1, true);
+  EXPECT_FALSE(Dfa::Equivalent(even, odd));
+  EXPECT_TRUE(Dfa::Equivalent(even, even.Minimize()));
+}
+
+TEST(Dfa, IsEmpty) {
+  Dfa d(1);
+  StateId q0 = d.AddState(false);
+  StateId q1 = d.AddState(true);
+  d.set_initial(q0);
+  EXPECT_TRUE(d.IsEmpty());
+  d.SetTransition(q0, 0, q1);
+  EXPECT_FALSE(d.IsEmpty());
+}
+
+TEST(Dfa, RandomMinimizePreservesLanguage) {
+  Rng rng(11);
+  for (int iter = 0; iter < 30; ++iter) {
+    Dfa d(2);
+    const int n = 8;
+    for (int i = 0; i < n; ++i) d.AddState(rng.Chance(1, 3));
+    d.set_initial(0);
+    for (StateId q = 0; q < n; ++q) {
+      for (Symbol a = 0; a < 2; ++a) {
+        d.SetTransition(q, a, static_cast<StateId>(rng.Below(n)));
+      }
+    }
+    Dfa m = d.Minimize();
+    EXPECT_LE(m.num_states(), d.num_states() + 1);  // +1: dead state
+    EXPECT_TRUE(Dfa::Equivalent(d, m));
+    // Minimizing twice is idempotent in size.
+    EXPECT_EQ(m.Minimize().num_states(), m.num_states());
+  }
+}
+
+}  // namespace
+}  // namespace nw

@@ -1,0 +1,63 @@
+// Tests for the synthetic workload generators: shape guarantees that the
+// property tests and benchmarks rely on.
+#include "nw/generate.h"
+
+#include <gtest/gtest.h>
+
+namespace nw {
+namespace {
+
+TEST(Generate, RandomNestedWordLengthAndSymbols) {
+  Rng rng(1);
+  for (size_t len : {0u, 1u, 17u, 256u}) {
+    NestedWord n = RandomNestedWord(&rng, 3, len);
+    EXPECT_EQ(n.size(), len);
+    for (size_t i = 0; i < n.size(); ++i) EXPECT_LT(n.symbol(i), 3u);
+  }
+}
+
+TEST(Generate, WellMatchedIsWellMatchedAndExactLength) {
+  Rng rng(2);
+  for (size_t len : {0u, 1u, 2u, 9u, 100u, 1001u}) {
+    NestedWord n = RandomWellMatched(&rng, 2, len);
+    EXPECT_EQ(n.size(), len);
+    EXPECT_TRUE(n.IsWellMatched());
+  }
+}
+
+TEST(Generate, TreeWordIsTreeWord) {
+  Rng rng(3);
+  for (size_t nodes : {1u, 2u, 10u, 64u}) {
+    NestedWord n = RandomTreeWord(&rng, 2, nodes);
+    EXPECT_EQ(n.size(), 2 * nodes);
+    EXPECT_TRUE(n.IsTreeWord());
+  }
+}
+
+TEST(Generate, DepthBoundIsRespected) {
+  Rng rng(4);
+  for (size_t depth : {1u, 3u, 8u}) {
+    NestedWord n = RandomWithDepth(&rng, 2, 400, depth);
+    EXPECT_EQ(n.size(), 400u);
+    EXPECT_TRUE(n.IsWellMatched());
+    EXPECT_LE(n.Depth(), depth);
+  }
+}
+
+TEST(Generate, Determinism) {
+  Rng a(7), b(7);
+  EXPECT_EQ(RandomNestedWord(&a, 3, 50), RandomNestedWord(&b, 3, 50));
+  EXPECT_EQ(RandomWellMatched(&a, 3, 50), RandomWellMatched(&b, 3, 50));
+}
+
+TEST(Generate, VariedShapes) {
+  // Not all generated well-matched words of the same length are equal
+  // (sanity check on generator entropy).
+  Rng rng(8);
+  NestedWord n1 = RandomWellMatched(&rng, 2, 40);
+  NestedWord n2 = RandomWellMatched(&rng, 2, 40);
+  EXPECT_FALSE(n1 == n2);
+}
+
+}  // namespace
+}  // namespace nw

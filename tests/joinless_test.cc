@@ -1,0 +1,214 @@
+// Tests for joinless automata (§3.5): model semantics, the flat and
+// top-down special cases, and Theorem 7's completeness construction.
+#include "nwa/joinless.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "nw/text.h"
+#include "nwa/families.h"
+#include "nwa/nwa.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+// Top-down (all hierarchical) joinless automaton over {a,b} accepting the
+// tree words of trees whose every node label is `a`. The root's carrier
+// differs from nested carriers so that only a single root accepts.
+JoinlessNwa AllATreeTopDown() {
+  JoinlessNwa j(2);
+  StateId start = j.AddState(/*hier=*/true, /*final=*/false);
+  StateId q = j.AddState(/*hier=*/true, /*final=*/false);
+  StateId done = j.AddState(/*hier=*/true, /*final=*/false);
+  StateId root_done = j.AddState(/*hier=*/true, /*final=*/true);
+  StateId carrier = j.AddState(/*hier=*/true, false);
+  StateId carrier_root = j.AddState(/*hier=*/true, false);
+  j.AddInitial(start);
+  j.AddCall(start, 0, q, carrier_root);  // the root call
+  j.AddCall(q, 0, q, carrier);           // first child of a node
+  j.AddCall(done, 0, q, carrier);        // next sibling subtree
+  j.AddReturn(carrier, 0, done);
+  j.AddReturn(carrier_root, 0, root_done);
+  // States that can immediately precede a return: q (leaf) and done (after
+  // the last child). Both must discharge for rule (b) to fire.
+  j.set_discharge(q);
+  j.set_discharge(done);
+  return j;
+}
+
+bool AllATree(const NestedWord& n) {
+  if (!n.IsTreeWord()) return false;
+  for (size_t i = 0; i < n.size(); ++i) {
+    if (n.symbol(i) != 0) return false;
+  }
+  return !n.empty();
+}
+
+TEST(Joinless, TopDownTreeAutomaton) {
+  JoinlessNwa j = AllATreeTopDown();
+  EXPECT_TRUE(j.IsTopDown());
+  Alphabet sigma = Alphabet::Ab();
+  EXPECT_TRUE(j.Accepts(ParseNestedWord("<a a>", &sigma).Take()));
+  EXPECT_TRUE(j.Accepts(ParseNestedWord("<a <a a> <a a> a>", &sigma).Take()));
+  EXPECT_FALSE(j.Accepts(ParseNestedWord("<a <b b> a>", &sigma).Take()));
+  EXPECT_FALSE(j.Accepts(ParseNestedWord("<a a> <a a>", &sigma).Take()));
+  Rng rng(1);
+  for (int iter = 0; iter < 200; ++iter) {
+    NestedWord w = RandomTreeWord(&rng, 2, 1 + rng.Below(6));
+    EXPECT_EQ(j.Accepts(w), AllATree(w)) << iter;
+  }
+}
+
+TEST(Joinless, DeterminismCheck) {
+  JoinlessNwa j = AllATreeTopDown();
+  EXPECT_TRUE(j.IsDeterministic());
+  // Add a second choice: no longer deterministic.
+  j.AddInternal(0, 1, 0);
+  j.AddInternal(0, 1, 1);
+  EXPECT_FALSE(j.IsDeterministic());
+}
+
+// Oracle automaton for Theorem 7 round-trips: the defect detector from
+// nnwa_test (pairs with mismatched symbols), rebuilt here.
+Nnwa Defect() {
+  Nnwa n(2);
+  StateId scan = n.AddState(false);
+  StateId inside = n.AddState(false);
+  StateId hit = n.AddState(true);
+  StateId hmark[2] = {n.AddState(false), n.AddState(false)};
+  StateId hplain = n.AddState(false);
+  n.AddInitial(scan);
+  n.AddHierInitial(hplain);
+  for (Symbol c : {0u, 1u}) {
+    n.AddInternal(scan, c, scan);
+    n.AddCall(scan, c, scan, hplain);
+    n.AddReturn(scan, hplain, c, scan);
+    n.AddCall(scan, c, inside, hmark[c]);
+    n.AddInternal(inside, c, inside);
+    n.AddCall(inside, c, inside, hplain);
+    n.AddReturn(inside, hplain, c, inside);
+    n.AddReturn(inside, hmark[c], 1 - c, hit);
+    n.AddInternal(hit, c, hit);
+    n.AddCall(hit, c, hit, hplain);
+    n.AddReturn(hit, hplain, c, hit);
+  }
+  return n;
+}
+
+TEST(Joinless, Thm7ConstructionEquivalence) {
+  Nnwa a = Defect();
+  JoinlessNwa j = JoinlessNwa::FromNnwa(a);
+  // O(s²·|Σ|) bound.
+  size_t s = a.num_states();
+  EXPECT_LE(j.num_states(),
+            s + s * s + s * s * a.num_symbols() + s * a.num_symbols() + 2);
+  Nnwa je = j.ToNnwa();
+  for (size_t len = 0; len <= 4; ++len) {
+    for (const NestedWord& w : EnumerateNestedWords(2, len)) {
+      ASSERT_EQ(je.Accepts(w), a.Accepts(w)) << "len " << len;
+    }
+  }
+  Rng rng(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    NestedWord w = RandomNestedWord(&rng, 2, 5 + rng.Below(12));
+    ASSERT_EQ(je.Accepts(w), a.Accepts(w)) << iter;
+  }
+}
+
+TEST(Joinless, Thm7OnDeterministicFamilies) {
+  for (int s : {1, 2}) {
+    Nnwa a = Nnwa::FromNwa(Thm3PathNwa(s));
+    JoinlessNwa j = JoinlessNwa::FromNnwa(a);
+    Nnwa je = j.ToNnwa();
+    Rng rng(40 + s);
+    for (uint64_t bits = 0; bits < (1ull << s); ++bits) {
+      std::vector<Symbol> w(s);
+      for (int i = 0; i < s; ++i) w[i] = (bits >> i) & 1;
+      EXPECT_TRUE(je.Accepts(NestedWord::Path(w)));
+    }
+    for (int iter = 0; iter < 150; ++iter) {
+      NestedWord w = RandomNestedWord(&rng, 2, rng.Below(2 * s + 4));
+      ASSERT_EQ(je.Accepts(w), a.Accepts(w)) << iter;
+    }
+  }
+}
+
+TEST(Joinless, Thm7HandlesPendingReturnAfterMatchedPair) {
+  // The subtle completeness case: a matched pair followed by a pending
+  // return — the construction must return to linear mode after the pair
+  // (continuation parked on the hierarchical edge).
+  Nnwa a(1);
+  StateId q0 = a.AddState(false);
+  StateId q1 = a.AddState(false);
+  StateId q2 = a.AddState(false);
+  StateId acc = a.AddState(true);
+  StateId h = a.AddState(false);
+  a.AddInitial(q0);
+  a.AddHierInitial(q0);
+  a.AddCall(q0, 0, q1, h);
+  a.AddReturn(q1, h, 0, q2);
+  a.AddReturn(q2, q0, 0, acc);  // pending return
+  // L(a) = { <x x> x> } (one matched pair, then one pending return).
+  NestedWord member({Call(0), Return(0), Return(0)});
+  EXPECT_TRUE(a.Accepts(member));
+  JoinlessNwa j = JoinlessNwa::FromNnwa(a);
+  Nnwa je = j.ToNnwa();
+  EXPECT_TRUE(je.Accepts(member));
+  for (size_t len = 0; len <= 5; ++len) {
+    for (const NestedWord& w : EnumerateNestedWords(1, len)) {
+      ASSERT_EQ(je.Accepts(w), a.Accepts(w)) << "len " << len;
+    }
+  }
+}
+
+TEST(Joinless, Thm7SoundOnWordsEndingInsideAPair) {
+  // The over-acceptance witness for the conflated discharge/final reading
+  // (see joinless.h): with L(a) = {<x x>}, a construction whose inside
+  // obligation states are word-end accepting would also accept the bare
+  // "<x" (the run parks inside the speculated pair and stops).
+  Nnwa a(1);
+  StateId q0 = a.AddState(false);
+  StateId q1 = a.AddState(false);
+  StateId acc = a.AddState(true);
+  StateId h = a.AddState(false);
+  a.AddInitial(q0);
+  a.AddHierInitial(q0);
+  a.AddCall(q0, 0, q1, h);
+  a.AddReturn(q1, h, 0, acc);
+  // L(a) = {<x x>}; the word "<x" must be rejected.
+  JoinlessNwa j = JoinlessNwa::FromNnwa(a);
+  Nnwa je = j.ToNnwa();
+  EXPECT_TRUE(je.Accepts(NestedWord({Call(0), Return(0)})));
+  EXPECT_FALSE(je.Accepts(NestedWord({Call(0)})));
+  EXPECT_FALSE(je.Accepts(NestedWord({Call(0), Return(0), Return(0)})));
+}
+
+TEST(Joinless, FlatAutomataAreJoinlessWithAllLinearStates) {
+  // §3.5: "a flat automaton is joinless with Ql = Q". Encode a flat NWA
+  // as a joinless automaton and compare languages.
+  Nwa flat = Thm5FlatNwa(1);
+  JoinlessNwa j(2);
+  for (StateId q = 0; q < flat.num_states(); ++q) {
+    j.AddState(/*hier=*/false, flat.is_final(q));
+  }
+  j.AddInitial(flat.initial());
+  for (StateId q = 0; q < flat.num_states(); ++q) {
+    for (Symbol c = 0; c < 2; ++c) {
+      StateId t = flat.NextInternal(q, c);
+      if (t != kNoState) j.AddInternal(q, c, t);
+      StateId l = flat.NextCallLinear(q, c);
+      if (l != kNoState) j.AddCall(q, c, l, flat.initial());
+      StateId r = flat.NextReturn(q, flat.hier_initial(), c);
+      if (r != kNoState) j.AddReturn(q, c, r);
+    }
+  }
+  Rng rng(3);
+  for (int iter = 0; iter < 300; ++iter) {
+    NestedWord w = RandomNestedWord(&rng, 2, rng.Below(12));
+    ASSERT_EQ(j.Accepts(w), flat.Accepts(w)) << iter;
+  }
+}
+
+}  // namespace
+}  // namespace nw

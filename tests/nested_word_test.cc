@@ -1,0 +1,190 @@
+// Unit tests for nested words and the matching relation (paper §2.1–2.2),
+// including the three sample words of Figure 1.
+#include "nw/nested_word.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "nw/text.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+// Figure 1, word n1: <a <b a a> <b a b> a> <a b a a>  (length 12, depth 2).
+NestedWord Fig1N1(Alphabet* sigma) {
+  auto r = ParseNestedWord("<a <b a a> <b a b> a> <a b a a>", sigma);
+  EXPECT_TRUE(r.ok());
+  return r.Take();
+}
+
+// Figure 1, word n2: a a> <b a a> <a <a  (two unmatched calls, one
+// unmatched return).
+NestedWord Fig1N2(Alphabet* sigma) {
+  auto r = ParseNestedWord("a a> <b a a> <a <a", sigma);
+  EXPECT_TRUE(r.ok());
+  return r.Take();
+}
+
+// Figure 1, word n3: <a <a a> <b b> a>  — the tree word of a(a(),b()).
+NestedWord Fig1N3(Alphabet* sigma) {
+  auto r = ParseNestedWord("<a <a a> <b b> a>", sigma);
+  EXPECT_TRUE(r.ok());
+  return r.Take();
+}
+
+TEST(NestedWord, EmptyWord) {
+  NestedWord n;
+  EXPECT_EQ(n.size(), 0u);
+  EXPECT_TRUE(n.IsWellMatched());
+  EXPECT_FALSE(n.IsRooted());
+  EXPECT_EQ(n.Depth(), 0u);
+}
+
+TEST(NestedWord, Fig1N1Properties) {
+  Alphabet sigma;
+  NestedWord n1 = Fig1N1(&sigma);
+  EXPECT_EQ(n1.size(), 12u);
+  EXPECT_TRUE(n1.IsWellMatched());
+  EXPECT_FALSE(n1.IsRooted());  // two top-level components
+  EXPECT_FALSE(n1.IsTreeWord());
+  EXPECT_EQ(n1.Depth(), 2u);
+}
+
+TEST(NestedWord, Fig1N2PendingEdges) {
+  Alphabet sigma;
+  NestedWord n2 = Fig1N2(&sigma);
+  EXPECT_FALSE(n2.IsWellMatched());
+  Matching m(n2);
+  EXPECT_EQ(m.pending_returns(), 1u);
+  EXPECT_EQ(m.pending_calls(), 2u);
+  EXPECT_EQ(m.partner(1), Matching::kPendingNegInf);
+  EXPECT_EQ(m.partner(5), Matching::kPendingInf);
+  EXPECT_EQ(m.partner(6), Matching::kPendingInf);
+  // The <b ... a> pair is matched.
+  EXPECT_EQ(m.partner(2), 4);
+  EXPECT_EQ(m.partner(4), 2);
+}
+
+TEST(NestedWord, Fig1N3IsRootedTreeWord) {
+  Alphabet sigma;
+  NestedWord n3 = Fig1N3(&sigma);
+  EXPECT_TRUE(n3.IsRooted());
+  EXPECT_TRUE(n3.IsWellMatched());
+  EXPECT_TRUE(n3.IsTreeWord());
+  EXPECT_EQ(n3.Depth(), 2u);
+}
+
+TEST(NestedWord, PathWordShape) {
+  // path(w) is rooted with depth |w| (§2.2).
+  std::vector<Symbol> w = {0, 1, 1, 0, 1};
+  NestedWord p = NestedWord::Path(w);
+  EXPECT_EQ(p.size(), 2 * w.size());
+  EXPECT_TRUE(p.IsRooted());
+  EXPECT_EQ(p.Depth(), w.size());
+  EXPECT_TRUE(p.IsTreeWord());
+}
+
+TEST(NestedWord, PlainWordHasEmptyMatching) {
+  NestedWord n = NestedWord::FromWord({0, 1, 0});
+  Matching m(n);
+  for (size_t i = 0; i < n.size(); ++i) {
+    EXPECT_EQ(m.partner(i), Matching::kNone);
+    EXPECT_EQ(m.call_parent(i), Matching::kTopLevel);
+  }
+  EXPECT_EQ(n.Depth(), 0u);
+}
+
+TEST(Matching, CallParentFollowsPaperRecurrence) {
+  Alphabet sigma;
+  // <a b <b a> c a>   positions: 0:<a 1:b 2:<b 3:a> 4:c 5:a>
+  auto n = ParseNestedWord("<a b <b a> c a>", &sigma).Take();
+  Matching m(n);
+  EXPECT_EQ(m.call_parent(0), Matching::kTopLevel);
+  EXPECT_EQ(m.call_parent(1), 0);
+  EXPECT_EQ(m.call_parent(2), 0);
+  EXPECT_EQ(m.call_parent(3), 2);
+  EXPECT_EQ(m.call_parent(4), 0);
+  EXPECT_EQ(m.call_parent(5), 0);
+}
+
+TEST(Matching, PendingReturnResetsParentToTopLevel) {
+  Alphabet sigma;
+  auto n = ParseNestedWord("a> b", &sigma).Take();
+  Matching m(n);
+  EXPECT_EQ(m.partner(0), Matching::kPendingNegInf);
+  EXPECT_EQ(m.call_parent(1), Matching::kTopLevel);
+}
+
+TEST(Matching, DepthIgnoresPendingEdges) {
+  Alphabet sigma;
+  // Two pending calls wrap one matched pair: depth counts only the match.
+  auto n = ParseNestedWord("<a <a <b b>", &sigma).Take();
+  EXPECT_EQ(n.Depth(), 1u);
+}
+
+TEST(Matching, NoCrossingByConstruction) {
+  // Matching computed from any tagged sequence satisfies §2.1's axioms:
+  // partners are mutual, i < j, and edges never cross.
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 2, 40);
+    Matching m(n);
+    for (size_t i = 0; i < n.size(); ++i) {
+      int64_t j = m.partner(i);
+      if (j < 0) continue;
+      if (n.kind(i) == Kind::kCall) {
+        EXPECT_LT(static_cast<int64_t>(i), j);
+        EXPECT_EQ(m.partner(static_cast<size_t>(j)), static_cast<int64_t>(i));
+      }
+    }
+    // Crossing check: for all matched pairs (i,j), (i',j'):
+    // not (i < i' <= j < j').
+    for (size_t i = 0; i < n.size(); ++i) {
+      if (n.kind(i) != Kind::kCall || m.partner(i) < 0) continue;
+      int64_t j = m.partner(i);
+      for (size_t i2 = i + 1; i2 < static_cast<size_t>(j); ++i2) {
+        if (n.kind(i2) != Kind::kCall || m.partner(i2) < 0) continue;
+        EXPECT_LE(m.partner(i2), j) << "crossing edge found";
+      }
+    }
+  }
+}
+
+TEST(NestedWord, ThreeToTheEllMatchings) {
+  // §2.2: there are exactly 3^ℓ matching relations of length ℓ, in
+  // bijection with kind-sequences. Enumerate ℓ ≤ 6 and verify that
+  // distinct kind sequences give distinct matchings (over 1 symbol).
+  for (size_t len = 0; len <= 6; ++len) {
+    size_t count = 1;
+    for (size_t i = 0; i < len; ++i) count *= 3;
+    std::vector<NestedWord> words;
+    for (size_t code = 0; code < count; ++code) {
+      size_t c = code;
+      std::vector<TaggedSymbol> seq;
+      for (size_t i = 0; i < len; ++i) {
+        seq.push_back({static_cast<Kind>(c % 3), 0});
+        c /= 3;
+      }
+      words.push_back(NestedWord(std::move(seq)));
+    }
+    // All distinct as nested words.
+    for (size_t i = 0; i < words.size(); ++i) {
+      for (size_t j = i + 1; j < words.size(); ++j) {
+        EXPECT_FALSE(words[i] == words[j]);
+      }
+    }
+    EXPECT_EQ(words.size(), count);
+  }
+}
+
+TEST(NestedWord, RootedImpliesWellMatched) {
+  Rng rng(13);
+  for (int iter = 0; iter < 300; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 2, 24);
+    if (n.IsRooted()) EXPECT_TRUE(n.IsWellMatched());
+  }
+}
+
+}  // namespace
+}  // namespace nw

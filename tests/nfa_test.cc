@@ -1,0 +1,105 @@
+// Tests for the NFA substrate: ε-closure, subset construction, reversal.
+#include "wordauto/nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+// NFA over {0,1}: words whose 3rd symbol from the end is 1.
+Nfa ThirdFromEndIsOne() {
+  Nfa n(2);
+  StateId q0 = n.AddState();
+  StateId q1 = n.AddState();
+  StateId q2 = n.AddState();
+  StateId q3 = n.AddState(true);
+  n.AddInitial(q0);
+  n.AddTransition(q0, 0, q0);
+  n.AddTransition(q0, 1, q0);
+  n.AddTransition(q0, 1, q1);
+  n.AddTransition(q1, 0, q2);
+  n.AddTransition(q1, 1, q2);
+  n.AddTransition(q2, 0, q3);
+  n.AddTransition(q2, 1, q3);
+  return n;
+}
+
+TEST(Nfa, AcceptsBySimulation) {
+  Nfa n = ThirdFromEndIsOne();
+  EXPECT_TRUE(n.Accepts({1, 0, 0}));
+  EXPECT_TRUE(n.Accepts({0, 1, 1, 1, 0}));
+  EXPECT_FALSE(n.Accepts({0, 0, 0}));
+  EXPECT_FALSE(n.Accepts({1, 0}));
+}
+
+TEST(Nfa, DeterminizeMatchesSimulation) {
+  Nfa n = ThirdFromEndIsOne();
+  Dfa d = n.Determinize();
+  // The subset automaton for "k-th from end" is the classic 2^k witness.
+  EXPECT_EQ(d.Minimize().num_states(), 8u);
+  Rng rng(3);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Symbol> w;
+    size_t len = rng.Below(10);
+    for (size_t i = 0; i < len; ++i) w.push_back(rng.Below(2));
+    EXPECT_EQ(n.Accepts(w), d.Accepts(w));
+  }
+}
+
+TEST(Nfa, EpsilonClosureChains) {
+  Nfa n(1);
+  StateId a = n.AddState();
+  StateId b = n.AddState();
+  StateId c = n.AddState(true);
+  n.AddInitial(a);
+  n.AddEpsilon(a, b);
+  n.AddEpsilon(b, c);
+  EXPECT_TRUE(n.Accepts({}));
+  Dfa d = n.Determinize();
+  EXPECT_TRUE(d.Accepts({}));
+}
+
+TEST(Nfa, EpsilonCycleTerminates) {
+  Nfa n(1);
+  StateId a = n.AddState();
+  StateId b = n.AddState(true);
+  n.AddInitial(a);
+  n.AddEpsilon(a, b);
+  n.AddEpsilon(b, a);
+  EXPECT_TRUE(n.Accepts({}));
+}
+
+TEST(Nfa, ReversedAcceptsMirror) {
+  Nfa n = ThirdFromEndIsOne();
+  Nfa r = n.Reversed();
+  // Reverse language: 3rd symbol from the *start* is 1.
+  EXPECT_TRUE(r.Accepts({0, 0, 1}));
+  EXPECT_TRUE(r.Accepts({0, 1, 1, 1, 0}));
+  EXPECT_FALSE(r.Accepts({0, 0, 0, 1}));
+  Rng rng(5);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Symbol> w;
+    size_t len = rng.Below(8);
+    for (size_t i = 0; i < len; ++i) w.push_back(rng.Below(2));
+    std::vector<Symbol> wr(w.rbegin(), w.rend());
+    EXPECT_EQ(n.Accepts(w), r.Accepts(wr));
+  }
+}
+
+TEST(Nfa, MultipleInitialStates) {
+  Nfa n(2);
+  StateId a = n.AddState(true);
+  StateId b = n.AddState();
+  StateId c = n.AddState(true);
+  n.AddInitial(a);
+  n.AddInitial(b);
+  n.AddTransition(b, 1, c);
+  EXPECT_TRUE(n.Accepts({}));   // via a
+  EXPECT_TRUE(n.Accepts({1}));  // via b → c
+  EXPECT_FALSE(n.Accepts({0}));
+}
+
+}  // namespace
+}  // namespace nw

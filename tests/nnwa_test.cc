@@ -1,0 +1,214 @@
+// Tests for nondeterministic NWAs (§3.2): the summary-pair runner, the
+// P0 (hierarchical initial) semantics, and determinization, cross-validated
+// exhaustively on short words and randomly on longer ones.
+#include "nwa/nnwa.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "nwa/determinize.h"
+#include "nwa/families.h"
+#include "nwa/nwa.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+// Nondeterministic NWA over {a,b} accepting words that contain some call
+// position whose matching return carries a *different* symbol (a "parse
+// defect" detector). Guesses the defective call.
+Nnwa DefectDetector() {
+  Nnwa n(2);
+  StateId scan = n.AddState(false);    // scanning, nothing guessed
+  StateId inside = n.AddState(false);  // inside the guessed call
+  StateId hit = n.AddState(true);      // defect confirmed
+  // One guess marker per call symbol — the mark must remember which symbol
+  // the guessed call carried.
+  StateId hmark[2] = {n.AddState(false), n.AddState(false)};
+  StateId hplain = n.AddState(false);  // unmarked hierarchical edge
+  n.AddInitial(scan);
+  n.AddHierInitial(hplain);
+  for (Symbol c : {0u, 1u}) {
+    n.AddInternal(scan, c, scan);
+    n.AddCall(scan, c, scan, hplain);
+    n.AddReturn(scan, hplain, c, scan);
+    // Guess: this call's return will mismatch.
+    n.AddCall(scan, c, inside, hmark[c]);
+    n.AddInternal(inside, c, inside);
+    n.AddCall(inside, c, inside, hplain);
+    n.AddReturn(inside, hplain, c, inside);
+    // The marked return: mismatching symbol only.
+    n.AddReturn(inside, hmark[c], 1 - c, hit);
+    // After the hit: free run.
+    n.AddInternal(hit, c, hit);
+    n.AddCall(hit, c, hit, hplain);
+    n.AddReturn(hit, hplain, c, hit);
+  }
+  return n;
+}
+
+// Oracle: some matched pair (i, j) has symbol(i) != symbol(j).
+bool HasDefect(const NestedWord& n) {
+  Matching m(n);
+  for (size_t i = 0; i < n.size(); ++i) {
+    if (n.kind(i) == Kind::kCall && m.partner(i) >= 0 &&
+        n.symbol(i) != n.symbol(static_cast<size_t>(m.partner(i)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Nnwa, DefectDetectorExhaustiveShortWords) {
+  Nnwa n = DefectDetector();
+  for (size_t len = 0; len <= 4; ++len) {
+    for (const NestedWord& w : EnumerateNestedWords(2, len)) {
+      EXPECT_EQ(n.Accepts(w), HasDefect(w));
+    }
+  }
+}
+
+TEST(Nnwa, DefectDetectorRandomLongWords) {
+  Nnwa n = DefectDetector();
+  Rng rng(2);
+  for (int iter = 0; iter < 300; ++iter) {
+    NestedWord w = RandomNestedWord(&rng, 2, 5 + rng.Below(30));
+    EXPECT_EQ(n.Accepts(w), HasDefect(w)) << iter;
+  }
+}
+
+TEST(Nnwa, FromNwaPreservesLanguage) {
+  for (int s : {1, 2, 3}) {
+    Nwa det = Thm3PathNwa(s);
+    Nnwa lifted = Nnwa::FromNwa(det);
+    Rng rng(11 + s);
+    for (int iter = 0; iter < 200; ++iter) {
+      NestedWord w = RandomNestedWord(&rng, 2, rng.Below(2 * s + 4));
+      EXPECT_EQ(det.Accepts(w), lifted.Accepts(w));
+    }
+    for (uint64_t bits = 0; bits < (1ull << s); ++bits) {
+      std::vector<Symbol> word(s);
+      for (int i = 0; i < s; ++i) word[i] = (bits >> i) & 1;
+      EXPECT_TRUE(lifted.Accepts(NestedWord::Path(word)));
+    }
+  }
+}
+
+TEST(Nnwa, PendingReturnUsesP0) {
+  // Two hierarchical initials: pending returns may read either.
+  Nnwa n(1);
+  StateId q0 = n.AddState(false);
+  StateId acc = n.AddState(true);
+  StateId p1 = n.AddState(false);
+  StateId p2 = n.AddState(false);
+  n.AddInitial(q0);
+  n.AddHierInitial(p1);
+  n.AddHierInitial(p2);
+  n.AddReturn(q0, p2, 0, acc);  // reachable only via P0 ∋ p2
+  EXPECT_TRUE(n.Accepts(NestedWord({Return(0)})));
+  // Without p2 in P0 the word is rejected.
+  Nnwa n2(1);
+  q0 = n2.AddState(false);
+  acc = n2.AddState(true);
+  p1 = n2.AddState(false);
+  p2 = n2.AddState(false);
+  n2.AddInitial(q0);
+  n2.AddHierInitial(p1);
+  n2.AddReturn(q0, p2, 0, acc);
+  EXPECT_FALSE(n2.Accepts(NestedWord({Return(0)})));
+}
+
+TEST(Nnwa, RunnerFrontierBounded) {
+  Nnwa n = DefectDetector();
+  NnwaRunner r(n);
+  Rng rng(4);
+  NestedWord w = RandomWellMatched(&rng, 2, 400);
+  r.Reset();
+  size_t max_frontier = 0;
+  for (const TaggedSymbol& t : w.tagged()) {
+    r.Feed(t);
+    max_frontier = std::max(max_frontier, r.FrontierSize());
+  }
+  // Frontier is a set of pairs over 5 states: ≤ 25.
+  EXPECT_LE(max_frontier, n.num_states() * n.num_states());
+}
+
+TEST(Determinize, DefectDetectorEquivalent) {
+  Nnwa n = DefectDetector();
+  DeterminizeResult det = Determinize(n);
+  // Exhaustive agreement on short words.
+  for (size_t len = 0; len <= 4; ++len) {
+    for (const NestedWord& w : EnumerateNestedWords(2, len)) {
+      EXPECT_EQ(det.nwa.Accepts(w), n.Accepts(w));
+    }
+  }
+  // Random agreement on longer words.
+  Rng rng(5);
+  for (int iter = 0; iter < 300; ++iter) {
+    NestedWord w = RandomNestedWord(&rng, 2, 5 + rng.Below(40));
+    EXPECT_EQ(det.nwa.Accepts(w), n.Accepts(w)) << iter;
+  }
+}
+
+TEST(Determinize, DeterministicInputStaysSmall) {
+  // Determinizing an already-deterministic automaton must not blow up:
+  // every reachable pair set is then a singleton-per-anchor set.
+  Nwa det = Thm3PathNwa(3);
+  Nnwa lifted = Nnwa::FromNwa(det);
+  DeterminizeResult res = Determinize(lifted);
+  EXPECT_LE(res.nwa.num_states(), 4 * det.num_states() + 2);
+  Rng rng(6);
+  for (int iter = 0; iter < 200; ++iter) {
+    NestedWord w = RandomNestedWord(&rng, 2, rng.Below(10));
+    EXPECT_EQ(res.nwa.Accepts(w), det.Accepts(w));
+  }
+}
+
+TEST(Determinize, RandomNnwaDifferential) {
+  // Random small nondeterministic automata: determinization agrees with
+  // the summary runner on exhaustive short words.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t states = 3;
+    const size_t syms = 2;
+    Nnwa n(syms);
+    for (size_t i = 0; i < states; ++i) n.AddState(rng.Chance(1, 3));
+    n.AddInitial(static_cast<StateId>(rng.Below(states)));
+    n.AddHierInitial(static_cast<StateId>(rng.Below(states)));
+    size_t internals = 2 + rng.Below(4);
+    for (size_t i = 0; i < internals; ++i) {
+      n.AddInternal(static_cast<StateId>(rng.Below(states)),
+                    static_cast<Symbol>(rng.Below(syms)),
+                    static_cast<StateId>(rng.Below(states)));
+    }
+    size_t calls = 2 + rng.Below(4);
+    for (size_t i = 0; i < calls; ++i) {
+      n.AddCall(static_cast<StateId>(rng.Below(states)),
+                static_cast<Symbol>(rng.Below(syms)),
+                static_cast<StateId>(rng.Below(states)),
+                static_cast<StateId>(rng.Below(states)));
+    }
+    size_t rets = 2 + rng.Below(5);
+    for (size_t i = 0; i < rets; ++i) {
+      n.AddReturn(static_cast<StateId>(rng.Below(states)),
+                  static_cast<StateId>(rng.Below(states)),
+                  static_cast<Symbol>(rng.Below(syms)),
+                  static_cast<StateId>(rng.Below(states)));
+    }
+    DeterminizeResult det = Determinize(n);
+    for (size_t len = 0; len <= 3; ++len) {
+      for (const NestedWord& w : EnumerateNestedWords(syms, len)) {
+        ASSERT_EQ(det.nwa.Accepts(w), n.Accepts(w))
+            << "trial " << trial << " len " << len;
+      }
+    }
+    Rng rng2(trial);
+    for (int iter = 0; iter < 100; ++iter) {
+      NestedWord w = RandomNestedWord(&rng2, syms, 4 + rng2.Below(12));
+      ASSERT_EQ(det.nwa.Accepts(w), n.Accepts(w)) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nw

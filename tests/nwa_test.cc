@@ -1,0 +1,279 @@
+// Tests for deterministic NWAs (§3.1): run semantics on all three position
+// types, pending-edge handling, subclass predicates, totalization, and the
+// streaming runner's space guarantee.
+#include "nwa/nwa.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "nw/text.h"
+#include "nwa/families.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+// NWA over {a} accepting well-matched words (over the subclass of words
+// with no pending edges): passes "level parity"... simplest: accepts words
+// whose pending-call and pending-return counts are zero by never defining
+// the pending-return row and by tracking nothing else.
+//
+// Concretely: one state q; all transitions loop on q; returns only defined
+// for hier = pushed q. A pending return would read hier_initial = q too —
+// so to *detect* pendings we use a dedicated bottom marker as hier_initial.
+Nwa WellMatchedChecker() {
+  Nwa a(1);
+  StateId q = a.AddState(true);
+  StateId bottom = a.AddState(false);
+  a.set_initial(q);
+  a.set_hier_initial(bottom);  // pending returns read `bottom`: no rule
+  a.SetInternal(q, 0, q);
+  a.SetCall(q, 0, q, q);
+  a.SetReturn(q, q, 0, q);
+  return a;
+}
+
+TEST(Nwa, WellMatchedCheckerSemantics) {
+  Nwa a = WellMatchedChecker();
+  Rng rng(1);
+  for (int iter = 0; iter < 200; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 1, 16);
+    bool expect = n.IsWellMatched() || Matching(n).pending_returns() == 0;
+    // Pending calls leave final-state acceptance intact (state stays q);
+    // pending returns kill the run. So acceptance == "no pending returns".
+    EXPECT_EQ(a.Accepts(n), expect) << iter;
+  }
+}
+
+TEST(Nwa, EmptyWordAcceptanceIsInitialFinality) {
+  Nwa a(1);
+  StateId q = a.AddState(false);
+  a.set_initial(q);
+  EXPECT_FALSE(a.Accepts(NestedWord()));
+  a.set_final(q);
+  EXPECT_TRUE(a.Accepts(NestedWord()));
+}
+
+TEST(Nwa, HierarchicalInformationFlow) {
+  // The Thm 3 automaton is the canonical "hierarchical edges carry data"
+  // example: symbol at call must equal symbol at matching return.
+  for (int s : {1, 2, 3, 5}) {
+    Nwa a = Thm3PathNwa(s);
+    Rng rng(7 + s);
+    // All 2^s members accepted.
+    for (uint64_t bits = 0; bits < (1ull << s); ++bits) {
+      std::vector<Symbol> w(s);
+      for (int i = 0; i < s; ++i) w[i] = (bits >> i) & 1;
+      EXPECT_TRUE(a.Accepts(NestedWord::Path(w))) << s << " " << bits;
+    }
+    // Random words agree with the oracle.
+    for (int iter = 0; iter < 300; ++iter) {
+      NestedWord n = RandomNestedWord(&rng, 2, rng.Below(2 * s + 3));
+      EXPECT_EQ(a.Accepts(n), Thm3Member(n, s));
+    }
+    // Mutating one return symbol of a member must reject.
+    std::vector<Symbol> w(s, 0);
+    NestedWord good = NestedWord::Path(w);
+    NestedWord bad = good;
+    (*bad.mutable_tagged())[2 * s - 1].symbol = 1;
+    EXPECT_FALSE(a.Accepts(bad));
+  }
+}
+
+TEST(Nwa, Thm3StateCountIsLinear) {
+  for (int s : {1, 4, 9}) {
+    EXPECT_EQ(Thm3PathNwa(s).num_states(), static_cast<size_t>(2 * s + 1));
+  }
+}
+
+TEST(Nwa, PendingReturnReadsHierInitial) {
+  // δr(q, q0, a) drives pending returns (paper: q_{−∞j} = q0).
+  Nwa a(1);
+  StateId q0 = a.AddState(false);
+  StateId hit = a.AddState(true);
+  a.set_initial(q0);
+  a.SetReturn(q0, q0, 0, hit);
+  NestedWord pending_return({Return(0)});
+  EXPECT_TRUE(a.Accepts(pending_return));
+}
+
+TEST(Nwa, MissingTransitionRejects) {
+  Nwa a(2);
+  StateId q = a.AddState(true);
+  a.set_initial(q);
+  a.SetInternal(q, 0, q);
+  EXPECT_TRUE(a.Accepts(NestedWord({Internal(0)})));
+  EXPECT_FALSE(a.Accepts(NestedWord({Internal(1)})));
+  EXPECT_FALSE(a.Accepts(NestedWord({Call(0)})));
+}
+
+TEST(Nwa, TotalizeKeepsLanguage) {
+  Nwa a = Thm3PathNwa(3);
+  Nwa t = Thm3PathNwa(3);
+  t.Totalize();
+  Rng rng(3);
+  for (int iter = 0; iter < 300; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 2, rng.Below(10));
+    EXPECT_EQ(a.Accepts(n), t.Accepts(n));
+  }
+  // And the totalized automaton never dies.
+  NwaRunner r(t);
+  EXPECT_TRUE(r.Feed(Internal(0)));
+  EXPECT_TRUE(r.Feed(Return(1)));
+  EXPECT_FALSE(r.Accepting());
+}
+
+TEST(NwaRunner, SpaceTracksDepthNotLength) {
+  // §3.2: membership space is proportional to input *depth*.
+  Nwa a = WellMatchedChecker();
+  Rng rng(5);
+  for (size_t depth : {2u, 5u, 11u}) {
+    NestedWord n = RandomWithDepth(&rng, 1, 600, depth);
+    NwaRunner r(a);
+    r.Run(n);
+    EXPECT_LE(r.MaxStackDepth(), depth);
+    EXPECT_EQ(r.StackDepth(), 0u);  // well-matched input drains the stack
+  }
+}
+
+TEST(NwaRunner, FeedInterface) {
+  Nwa a = Thm3PathNwa(2);
+  NwaRunner r(a);
+  EXPECT_TRUE(r.Feed(Call(0)));
+  EXPECT_TRUE(r.Feed(Call(1)));
+  EXPECT_TRUE(r.Feed(Return(1)));
+  EXPECT_FALSE(r.Accepting());  // not yet complete
+  EXPECT_TRUE(r.Feed(Return(0)));
+  EXPECT_TRUE(r.Accepting());
+  // Extra input kills the run (no transitions out of the final state).
+  EXPECT_FALSE(r.Feed(Internal(0)));
+  EXPECT_TRUE(r.dead());
+}
+
+TEST(Nwa, SubclassPredicates) {
+  EXPECT_TRUE(Thm5FlatNwa(3).IsFlat());
+  EXPECT_FALSE(Thm3PathNwa(3).IsFlat());
+  // Flat implies nothing about weak: flat passes q0, weak passes q.
+  Nwa weak(1);
+  StateId q0 = weak.AddState(true);
+  StateId q1 = weak.AddState(false);
+  weak.set_initial(q0);
+  weak.SetCall(q0, 0, q1, q0);  // hier = source: weak; also = q0: flat
+  weak.SetCall(q1, 0, q1, q1);  // hier = source: weak; not q0
+  EXPECT_TRUE(weak.IsWeak());
+  EXPECT_FALSE(weak.IsFlat());
+  // Bottom-up: linear call target independent of source.
+  Nwa bu(1);
+  StateId b0 = bu.AddState(true);
+  StateId b1 = bu.AddState(false);
+  bu.set_initial(b0);
+  bu.SetCall(b0, 0, b1, b0);
+  bu.SetCall(b1, 0, b1, b1);
+  EXPECT_TRUE(bu.IsBottomUp());
+  EXPECT_FALSE(Thm3PathNwa(2).IsBottomUp());
+}
+
+TEST(Nwa, Thm6WitnessLanguage) {
+  Nwa a = Thm6Nwa();
+  Alphabet sigma = Alphabet::Ab();
+  // Members for k = 0, 1, 2 and both symbols.
+  for (const char* text : {
+           "<b <a a> b> <a a>",
+           "<b <b b> b> <b b>",
+           "<a <b <a a> b> <a a> a>",
+           "<a <a <b <b b> b> <b b> a> a>",
+       }) {
+    auto n = ParseNestedWord(text, &sigma).Take();
+    EXPECT_TRUE(a.Accepts(n)) << text;
+    EXPECT_TRUE(Thm6Member(n)) << text;
+  }
+  // Non-members: symbol mismatch between the two inner blocks; unbalanced
+  // prefix/suffix; wrong shapes.
+  for (const char* text : {
+           "<b <a a> b> <b b>",
+           "<a <b <a a> b> <a a>",
+           "<b <a a> b> <a a> a>",
+           "<a <b <a a> b> <b b> a>",
+           "a <b <a a> b> <a a>",
+       }) {
+    auto n = ParseNestedWord(text, &sigma).Take();
+    EXPECT_FALSE(a.Accepts(n)) << text;
+    EXPECT_FALSE(Thm6Member(n)) << text;
+  }
+  // Randomized oracle agreement.
+  Rng rng(17);
+  for (int iter = 0; iter < 500; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 2, rng.Below(14));
+    EXPECT_EQ(a.Accepts(n), Thm6Member(n));
+  }
+}
+
+TEST(Nwa, Thm5FlatAutomatonMatchesOracle) {
+  for (int s : {1, 2, 3, 4}) {
+    Nwa a = Thm5FlatNwa(s);
+    // All canonical members with m in 0..2s.
+    for (int m = 0; m <= 2 * s; ++m) {
+      for (const NestedWord& n : Thm5Words(s, m)) {
+        EXPECT_TRUE(a.Accepts(n)) << s << " m=" << m;
+        EXPECT_TRUE(Thm5Member(n, s));
+      }
+    }
+    Rng rng(23 + s);
+    for (int iter = 0; iter < 400; ++iter) {
+      NestedWord n = RandomNestedWord(&rng, 2, rng.Below(4 * s + 8));
+      EXPECT_EQ(a.Accepts(n), Thm5Member(n, s));
+    }
+  }
+}
+
+TEST(Nwa, Thm8PathAutomatonMatchesOracle) {
+  for (int s : {1, 2, 3}) {
+    Nwa a = Thm8PathNwa(s);
+    // Members: w = x^s a y* a z^s for a few explicit picks.
+    for (int mid_len : {0, 1, 3}) {
+      for (uint64_t bits = 0; bits < 8; ++bits) {
+        std::vector<Symbol> w;
+        for (int i = 0; i < s; ++i) w.push_back((bits >> i) & 1);
+        w.push_back(0);  // a
+        for (int i = 0; i < mid_len; ++i) w.push_back((bits >> (i % 3)) & 1);
+        w.push_back(0);  // a
+        for (int i = 0; i < s; ++i) w.push_back((bits >> ((i + 1) % 3)) & 1);
+        NestedWord n = NestedWord::Path(w);
+        EXPECT_TRUE(Thm8Member(n, s));
+        EXPECT_TRUE(a.Accepts(n)) << s << " " << mid_len << " " << bits;
+      }
+    }
+    // The two a-positions may not overlap: w = Σ^s a Σ^s is too short.
+    std::vector<Symbol> wshort(s, 1);
+    wshort.push_back(0);
+    for (int i = 0; i < s; ++i) wshort.push_back(1);
+    EXPECT_FALSE(a.Accepts(NestedWord::Path(wshort)));
+    // Oracle agreement on random words and random paths.
+    Rng rng(31 + s);
+    for (int iter = 0; iter < 300; ++iter) {
+      NestedWord n = RandomNestedWord(&rng, 2, rng.Below(6 * s + 10));
+      EXPECT_EQ(a.Accepts(n), Thm8Member(n, s)) << iter;
+    }
+    for (int iter = 0; iter < 300; ++iter) {
+      size_t len = rng.Below(4 * s + 6);
+      std::vector<Symbol> w;
+      for (size_t i = 0; i < len; ++i) w.push_back(rng.Below(2));
+      NestedWord n = NestedWord::Path(w);
+      EXPECT_EQ(a.Accepts(n), Thm8Member(n, s)) << iter;
+    }
+  }
+}
+
+TEST(Nwa, NumTransitionsCountsDefinedOnly) {
+  Nwa a(2);
+  StateId q = a.AddState(true);
+  a.set_initial(q);
+  EXPECT_EQ(a.NumTransitions(), 0u);
+  a.SetInternal(q, 0, q);
+  a.SetCall(q, 1, q, q);
+  a.SetReturn(q, q, 1, q);
+  EXPECT_EQ(a.NumTransitions(), 3u);
+}
+
+}  // namespace
+}  // namespace nw

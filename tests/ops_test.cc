@@ -1,0 +1,160 @@
+// Tests for the word/tree operations of §2.4, including the algebraic
+// identities the paper states (prefix·suffix reconstitution, reversal
+// involution, concatenation re-matching pending edges, tree insertion).
+#include "nw/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "nw/text.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+NestedWord P(const std::string& s, Alphabet* sigma) {
+  auto r = ParseNestedWord(s, sigma);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.Take();
+}
+
+TEST(Ops, ConcatLengths) {
+  Alphabet sigma;
+  NestedWord a = P("<a b", &sigma);
+  NestedWord b = P("c a>", &sigma);
+  NestedWord c = Concat(a, b);
+  EXPECT_EQ(c.size(), a.size() + b.size());
+}
+
+TEST(Ops, ConcatMatchesPendingCallWithPendingReturn) {
+  // §2.4: "the matching relation of the concatenation can connect
+  // unmatched calls of the first with the unmatched returns of the latter."
+  Alphabet sigma;
+  NestedWord a = P("<a b", &sigma);    // pending call at 0
+  NestedWord b = P("c a>", &sigma);    // pending return at 1
+  NestedWord c = Concat(a, b);
+  Matching m(c);
+  EXPECT_EQ(m.partner(0), 3);
+  EXPECT_EQ(m.partner(3), 0);
+  EXPECT_TRUE(c.IsWellMatched());
+}
+
+TEST(Ops, SubwordTurnsCrossingEdgesPending) {
+  // §2.4: if i⇝j, a subword containing only i has i⇝+∞, and a subword
+  // containing only j has −∞⇝j.
+  Alphabet sigma;
+  NestedWord n = P("<a b a>", &sigma);
+  NestedWord left = Subword(n, 0, 2);  // <a b
+  NestedWord right = Subword(n, 1, 3);  // b a>
+  Matching ml(left), mr(right);
+  EXPECT_EQ(ml.partner(0), Matching::kPendingInf);
+  EXPECT_EQ(mr.partner(1), Matching::kPendingNegInf);
+}
+
+TEST(Ops, EmptyAndOutOfRangeSubwords) {
+  Alphabet sigma;
+  NestedWord n = P("<a b a>", &sigma);
+  EXPECT_TRUE(Subword(n, 2, 2).empty());
+  EXPECT_TRUE(Subword(n, 5, 9).empty());
+  EXPECT_TRUE(Subword(n, 2, 1).empty());
+  EXPECT_EQ(Subword(n, 1, 99).size(), 2u);  // clamped to the end
+}
+
+TEST(Ops, PrefixPlusSuffixIsIdentity) {
+  // §2.4: concatenating n[1,i] and n[i+1,ℓ] gives back n — for every split
+  // point, including ones that cut hierarchical edges.
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 3, 20);
+    for (size_t k = 0; k <= n.size(); ++k) {
+      EXPECT_EQ(Concat(Prefix(n, k), Suffix(n, k)), n);
+    }
+  }
+}
+
+TEST(Ops, ReverseIsInvolution) {
+  Rng rng(43);
+  for (int iter = 0; iter < 100; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 3, 30);
+    EXPECT_EQ(Reverse(Reverse(n)), n);
+  }
+}
+
+TEST(Ops, ReverseFlipsHierarchicalEdges) {
+  Alphabet sigma;
+  NestedWord n = P("<a b a>", &sigma);
+  NestedWord r = Reverse(n);
+  // Reverse of <a b a>  is  <a b a> again (call/return swap + flip).
+  EXPECT_EQ(r.kind(0), Kind::kCall);
+  EXPECT_EQ(r.kind(1), Kind::kInternal);
+  EXPECT_EQ(r.kind(2), Kind::kReturn);
+  // Depth is preserved by reversal.
+  Rng rng(44);
+  for (int iter = 0; iter < 50; ++iter) {
+    NestedWord w = RandomWellMatched(&rng, 2, 24);
+    EXPECT_EQ(Reverse(w).Depth(), w.Depth());
+    EXPECT_TRUE(Reverse(w).IsWellMatched());
+  }
+}
+
+TEST(Ops, ReverseSwapsPendingDirections) {
+  Alphabet sigma;
+  NestedWord n = P("<a <b", &sigma);  // two pending calls
+  NestedWord r = Reverse(n);
+  Matching m(r);
+  EXPECT_EQ(m.pending_returns(), 2u);
+  EXPECT_EQ(m.pending_calls(), 0u);
+}
+
+TEST(Ops, InsertAfterEveryLabeledPosition) {
+  Alphabet sigma;
+  NestedWord n = P("a b a", &sigma);
+  NestedWord ins = P("<c c>", &sigma);
+  NestedWord out = Insert(n, sigma.Find("a"), ins);
+  EXPECT_EQ(out, P("a <c c> b a <c c>", &sigma));
+}
+
+TEST(Ops, InsertNoOccurrencesIsIdentity) {
+  Alphabet sigma;
+  NestedWord n = P("a b", &sigma);
+  Symbol d = sigma.Intern("d");
+  EXPECT_EQ(Insert(n, d, P("<c c>", &sigma)), n);
+}
+
+TEST(Ops, InsertIntoTreeWordIsTreeInsertion) {
+  // §2.4: insertion of a tree word into another tree word is tree
+  // insertion — the result is again a tree word.
+  Alphabet sigma;
+  NestedWord host = P("<r <a a> r>", &sigma);
+  NestedWord sub = P("<b b>", &sigma);
+  // Insert after every "a" position: both the call and the return of the
+  // a-node are a-labeled, so the subtree lands inside and after the node.
+  NestedWord out = Insert(host, sigma.Find("a"), sub);
+  EXPECT_TRUE(out.IsWellMatched());
+  EXPECT_EQ(out, P("<r <a <b b> a> <b b> r>", &sigma));
+  EXPECT_TRUE(out.IsTreeWord());
+}
+
+TEST(Ops, InsertPreservesWellMatchedness) {
+  Rng rng(45);
+  for (int iter = 0; iter < 50; ++iter) {
+    NestedWord host = RandomWellMatched(&rng, 2, 16);
+    NestedWord sub = RandomWellMatched(&rng, 2, 6);
+    NestedWord out = Insert(host, 0, sub);
+    EXPECT_TRUE(out.IsWellMatched());
+  }
+}
+
+TEST(Ops, SubwordDepthNeverExceedsOriginal) {
+  Rng rng(46);
+  for (int iter = 0; iter < 50; ++iter) {
+    NestedWord n = RandomWellMatched(&rng, 2, 30);
+    size_t d = n.Depth();
+    for (size_t k = 0; k + 1 < n.size(); k += 3) {
+      EXPECT_LE(Subword(n, k, k + 7).Depth(), d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nw

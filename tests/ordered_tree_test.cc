@@ -1,0 +1,123 @@
+// Tests for ordered trees and the §2.3 codecs: t_nw is a bijection between
+// OT(Σ) and the tree words TW(Σ), with nw_t its inverse.
+#include "trees/ordered_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "nw/text.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+TEST(OrderedTree, EmptyTree) {
+  OrderedTree t;
+  EXPECT_TRUE(t.IsEmpty());
+  EXPECT_EQ(t.NodeCount(), 0u);
+  EXPECT_EQ(t.Height(), 0u);
+  EXPECT_TRUE(TreeToNestedWord(t).empty());
+}
+
+TEST(OrderedTree, Fig1BinaryTree) {
+  // Figure 1's tree a(a(),b()) encodes to the tree word n3.
+  Alphabet sigma;
+  auto t = ParseTree("a(a(),b())", &sigma);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NodeCount(), 3u);
+  EXPECT_EQ(t->Height(), 2u);
+  NestedWord n3 = ParseNestedWord("<a <a a> <b b> a>", &sigma).Take();
+  EXPECT_EQ(TreeToNestedWord(*t), n3);
+}
+
+TEST(OrderedTree, DecodeInverse) {
+  Alphabet sigma;
+  auto t = ParseTree("a(b(c(),d()),e())", &sigma);
+  ASSERT_TRUE(t.ok());
+  auto back = NestedWordToTree(TreeToNestedWord(*t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *t);
+}
+
+TEST(OrderedTree, DecodeRejectsNonTreeWords) {
+  Alphabet sigma;
+  // Internals are not allowed in tree words.
+  auto n1 = ParseNestedWord("<a b a>", &sigma).Take();
+  EXPECT_FALSE(NestedWordToTree(n1).ok());
+  // Mismatched labels are not allowed.
+  auto n2 = ParseNestedWord("<a b>", &sigma).Take();
+  EXPECT_FALSE(NestedWordToTree(n2).ok());
+  // Forests (two roots) are not rooted.
+  auto n3 = ParseNestedWord("<a a> <b b>", &sigma).Take();
+  EXPECT_FALSE(NestedWordToTree(n3).ok());
+  // Pending edges are not allowed.
+  auto n4 = ParseNestedWord("<a", &sigma).Take();
+  EXPECT_FALSE(NestedWordToTree(n4).ok());
+}
+
+TEST(OrderedTree, RandomRoundTrip) {
+  // Random tree words decode and re-encode to themselves: t_nw ∘ nw_t = id.
+  Rng rng(5);
+  for (int iter = 0; iter < 100; ++iter) {
+    NestedWord n = RandomTreeWord(&rng, 3, 1 + iter % 40);
+    auto t = NestedWordToTree(n);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(TreeToNestedWord(*t), n);
+    EXPECT_EQ(t->NodeCount(), n.size() / 2);
+    EXPECT_EQ(t->Height(), n.Depth());
+  }
+}
+
+TEST(OrderedTree, ParseLeafSugar) {
+  Alphabet sigma;
+  auto t1 = ParseTree("a(b,c)", &sigma);
+  auto t2 = ParseTree("a(b(),c())", &sigma);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(*t1, *t2);
+}
+
+TEST(OrderedTree, ParseEmptyIsEpsilon) {
+  Alphabet sigma;
+  auto t = ParseTree("  ", &sigma);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->IsEmpty());
+}
+
+TEST(OrderedTree, ParseErrors) {
+  Alphabet sigma;
+  EXPECT_FALSE(ParseTree("a(b", &sigma).ok());
+  EXPECT_FALSE(ParseTree("a)b", &sigma).ok());
+  EXPECT_FALSE(ParseTree("(a)", &sigma).ok());
+}
+
+TEST(OrderedTree, FormatRoundTrip) {
+  Alphabet sigma;
+  auto t = ParseTree("root(x(y),z(p,q(r)))", &sigma);
+  ASSERT_TRUE(t.ok());
+  std::string s = FormatTree(*t, sigma);
+  auto back = ParseTree(s, &sigma);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *t);
+}
+
+TEST(OrderedTree, UnrankedWideNode) {
+  // "It does not really matter whether the tree is binary, ranked, or
+  // unranked" (§2.3): a 20-ary node round-trips like any other.
+  Alphabet sigma;
+  std::string wide = "r(";
+  for (int i = 0; i < 20; ++i) {
+    if (i) wide += ',';
+    wide += "c" + std::to_string(i);
+  }
+  wide += ")";
+  auto t = ParseTree(wide, &sigma);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NodeCount(), 21u);
+  auto back = NestedWordToTree(TreeToNestedWord(*t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *t);
+}
+
+}  // namespace
+}  // namespace nw

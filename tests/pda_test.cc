@@ -1,0 +1,92 @@
+// Tests for the pushdown word automaton substrate (Lemma 4 baseline).
+#include "pda/pda.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+TEST(Pda, ZeroesOnes) {
+  // The counter language 0^n 1^n (n ≥ 1).
+  Pda p(2, 2);
+  StateId push_phase = p.AddState();
+  StateId pushed = p.AddState();
+  StateId pop_phase = p.AddState();
+  StateId popped = p.AddState();
+  StateId accept = p.AddState();
+  p.AddInitial(push_phase);
+  p.AddInput(push_phase, 0, pushed);
+  p.AddPush(pushed, push_phase, 1);
+  p.AddInput(push_phase, 1, popped);
+  p.AddInput(pop_phase, 1, popped);
+  p.AddPop(popped, 1, pop_phase);
+  p.AddPop(pop_phase, 0, accept);
+
+  auto member = [](const std::vector<Symbol>& w) {
+    if (w.empty() || w.size() % 2 != 0) return false;
+    size_t n = w.size() / 2;
+    for (size_t i = 0; i < n; ++i) {
+      if (w[i] != 0 || w[n + i] != 1) return false;
+    }
+    return true;
+  };
+  // Exhaustive up to length 8.
+  for (size_t len = 0; len <= 8; ++len) {
+    for (uint64_t bits = 0; bits < (1ull << len); ++bits) {
+      std::vector<Symbol> w(len);
+      for (size_t i = 0; i < len; ++i) w[i] = (bits >> i) & 1;
+      ASSERT_EQ(p.Accepts(w), member(w)) << "len " << len << " bits " << bits;
+    }
+  }
+  EXPECT_FALSE(p.IsEmpty());
+}
+
+TEST(Pda, EmptinessSaturation) {
+  Pda dead(1, 2);
+  StateId q = dead.AddState();
+  dead.AddInitial(q);
+  dead.AddInput(q, 0, q);
+  EXPECT_TRUE(dead.IsEmpty());  // ⊥ never popped
+  Pda live = dead;
+  StateId f = live.AddState();
+  live.AddPop(q, 0, f);
+  EXPECT_FALSE(live.IsEmpty());
+}
+
+bool BalancedAB(const NestedWord& n) {
+  int64_t diff = 0;
+  for (size_t i = 0; i < n.size(); ++i) diff += n.symbol(i) == 0 ? 1 : -1;
+  return diff == 0;
+}
+
+TEST(Pda, EqualAsAndBsMatchesOracle) {
+  Pda p = Pda::EqualAsAndBs();
+  Rng rng(1);
+  for (size_t len = 0; len <= 4; ++len) {
+    for (const NestedWord& w : EnumerateNestedWords(2, len)) {
+      ASSERT_EQ(p.AcceptsTagged(w), BalancedAB(w)) << "len " << len;
+    }
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    NestedWord w = RandomNestedWord(&rng, 2, 5 + rng.Below(14));
+    ASSERT_EQ(p.AcceptsTagged(w), BalancedAB(w)) << iter;
+  }
+}
+
+TEST(Pda, EqualAsAndBsIgnoresNesting) {
+  // The language depends only on labels, not on the matching relation —
+  // the "context-free word language" side of Theorem 9.
+  Pda p = Pda::EqualAsAndBs();
+  NestedWord flat({Internal(0), Internal(1)});
+  NestedWord nested({Call(0), Return(1)});
+  NestedWord pending({Call(0), Call(1)});
+  EXPECT_TRUE(p.AcceptsTagged(flat));
+  EXPECT_TRUE(p.AcceptsTagged(nested));
+  EXPECT_TRUE(p.AcceptsTagged(pending));
+}
+
+}  // namespace
+}  // namespace nw

@@ -1,0 +1,74 @@
+// Tests for the regex combinators, including the paper's introduction
+// query Σ*p1Σ*...pnΣ* whose DFA is linear in n.
+#include "wordauto/regex.h"
+
+#include <gtest/gtest.h>
+
+namespace nw {
+namespace {
+
+TEST(Regex, Basics) {
+  Nfa n = Regex::Cat(Regex::Sym(0), Regex::Star(Regex::Sym(1))).Compile(2);
+  EXPECT_TRUE(n.Accepts({0}));
+  EXPECT_TRUE(n.Accepts({0, 1, 1, 1}));
+  EXPECT_FALSE(n.Accepts({1}));
+  EXPECT_FALSE(n.Accepts({}));
+}
+
+TEST(Regex, EmptyAndEps) {
+  EXPECT_FALSE(Regex::Empty().Compile(1).Accepts({}));
+  EXPECT_TRUE(Regex::Eps().Compile(1).Accepts({}));
+  EXPECT_FALSE(Regex::Eps().Compile(1).Accepts({0}));
+}
+
+TEST(Regex, AltAndWord) {
+  Nfa n = Regex::Alt(Regex::Word({0, 1}), Regex::Word({1, 0})).Compile(2);
+  EXPECT_TRUE(n.Accepts({0, 1}));
+  EXPECT_TRUE(n.Accepts({1, 0}));
+  EXPECT_FALSE(n.Accepts({0, 0}));
+  EXPECT_FALSE(n.Accepts({0, 1, 0}));
+}
+
+TEST(Regex, AnyMatchesEverySymbol) {
+  Nfa n = Regex::Star(Regex::Any(3)).Compile(3);
+  EXPECT_TRUE(n.Accepts({}));
+  EXPECT_TRUE(n.Accepts({0, 1, 2, 2, 1, 0}));
+}
+
+// Builds the introduction's query Σ* p1 Σ* p2 ... Σ* pn Σ*.
+Regex PatternOrderQuery(const std::vector<std::vector<Symbol>>& patterns,
+                        size_t num_symbols) {
+  Regex r = Regex::Star(Regex::Any(num_symbols));
+  for (const auto& p : patterns) {
+    r = Regex::Cat(std::move(r), Regex::Word(p));
+    r = Regex::Cat(std::move(r), Regex::Star(Regex::Any(num_symbols)));
+  }
+  return r;
+}
+
+TEST(Regex, PatternOrderQuerySemantics) {
+  Nfa n = PatternOrderQuery({{0, 0}, {1, 1}}, 2).Compile(2);
+  EXPECT_TRUE(n.Accepts({0, 0, 1, 1}));
+  EXPECT_TRUE(n.Accepts({1, 0, 0, 0, 1, 1, 0}));
+  EXPECT_FALSE(n.Accepts({1, 1, 0, 0}));  // wrong order
+  EXPECT_FALSE(n.Accepts({0, 1, 0, 1}));  // interleaved, no contiguous 00
+}
+
+TEST(Regex, PatternOrderQueryDfaIsLinear) {
+  // The intro claims the pattern-order query compiles into a DFA of linear
+  // size. Check that the minimal DFA grows linearly with the number of
+  // single-symbol patterns (alphabet {a,b}, patterns alternating a,b).
+  size_t prev = 0;
+  for (size_t k = 1; k <= 6; ++k) {
+    std::vector<std::vector<Symbol>> pats;
+    for (size_t i = 0; i < k; ++i) pats.push_back({Symbol(i % 2)});
+    Dfa d = PatternOrderQuery(pats, 2).Compile(2).Determinize().Minimize();
+    if (k > 1) {
+      EXPECT_LE(d.num_states(), prev + 2);  // linear growth
+    }
+    prev = d.num_states();
+  }
+}
+
+}  // namespace
+}  // namespace nw

@@ -1,0 +1,65 @@
+// Tests for the DPLL oracle used by the Theorem 10 experiments.
+#include "sat/sat.h"
+
+#include <gtest/gtest.h>
+
+namespace nw {
+namespace {
+
+TEST(Sat, TrivialCases) {
+  Cnf empty;
+  empty.num_vars = 1;
+  EXPECT_TRUE(DpllSolve(empty));  // no clauses: vacuously satisfiable
+  Cnf contradiction;
+  contradiction.num_vars = 1;
+  contradiction.clauses = {{{0, true}}, {{0, false}}};
+  EXPECT_FALSE(DpllSolve(contradiction));
+}
+
+TEST(Sat, ModelsSatisfy) {
+  Rng rng(3);
+  int sat = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Cnf cnf = Cnf::Random(&rng, 6, 4 + trial % 24);
+    std::vector<bool> model;
+    if (DpllSolve(cnf, &model)) {
+      ++sat;
+      EXPECT_TRUE(cnf.Eval(model)) << trial;
+    } else {
+      // Exhaustive cross-check for small instances.
+      for (uint32_t bits = 0; bits < (1u << 6); ++bits) {
+        std::vector<bool> assign(6);
+        for (int i = 0; i < 6; ++i) assign[i] = (bits >> i) & 1;
+        EXPECT_FALSE(cnf.Eval(assign)) << trial << " " << bits;
+      }
+    }
+  }
+  EXPECT_GT(sat, 10);
+}
+
+TEST(Sat, UnitPropagationChains) {
+  // (x0) ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2): forces x0=x1=x2=1.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{{0, true}},
+                 {{0, false}, {1, true}},
+                 {{1, false}, {2, true}}};
+  std::vector<bool> model;
+  ASSERT_TRUE(DpllSolve(cnf, &model));
+  EXPECT_TRUE(model[0] && model[1] && model[2]);
+}
+
+TEST(Sat, RandomGeneratorShape) {
+  Rng rng(4);
+  Cnf cnf = Cnf::Random(&rng, 10, 42, 3);
+  EXPECT_EQ(cnf.clauses.size(), 42u);
+  for (const auto& clause : cnf.clauses) {
+    EXPECT_EQ(clause.size(), 3u);
+    EXPECT_NE(clause[0].var, clause[1].var);  // distinct vars per clause
+    EXPECT_NE(clause[1].var, clause[2].var);
+    EXPECT_NE(clause[0].var, clause[2].var);
+  }
+}
+
+}  // namespace
+}  // namespace nw

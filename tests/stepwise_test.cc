@@ -1,0 +1,124 @@
+// Tests for stepwise bottom-up tree automata (Lemma 1) and classical
+// top-down tree automata (Lemma 2 context).
+#include "treeauto/stepwise.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+// Boolean circuit evaluator over {and=0, or=1, one=2, zero=3}: a subtree's
+// state is (connective context, current value) — the classic stepwise
+// bottom-up automaton example.
+StepwiseTreeAutomaton Circuits4() {
+  StepwiseTreeAutomaton s(4);
+  StateId and_t = s.AddState(true);   // conjunction, currently true
+  StateId and_f = s.AddState(false);  // conjunction, currently false
+  StateId or_t = s.AddState(true);
+  StateId or_f = s.AddState(false);
+  s.SetSymbolState(0, and_t);
+  s.SetSymbolState(1, or_f);
+  s.SetSymbolState(2, and_t);  // leaf one: final-true shape
+  s.SetSymbolState(3, and_f);  // leaf zero
+  auto truth = [&](StateId q) { return q == and_t || q == or_t; };
+  for (StateId q : {and_t, and_f}) {
+    for (StateId c : {and_t, and_f, or_t, or_f}) {
+      s.SetCombine(q, c, (truth(q) && truth(c)) ? and_t : and_f);
+    }
+  }
+  for (StateId q : {or_t, or_f}) {
+    for (StateId c : {and_t, and_f, or_t, or_f}) {
+      s.SetCombine(q, c, (truth(q) || truth(c)) ? or_t : or_f);
+    }
+  }
+  return s;
+}
+
+bool EvalCircuit(const TreeNode& n) {
+  if (n.label == 2) return true;
+  if (n.label == 3) return false;
+  bool acc = n.label == 0;  // and: true, or: false
+  for (const TreeNode& c : n.children) {
+    acc = n.label == 0 ? (acc && EvalCircuit(c)) : (acc || EvalCircuit(c));
+  }
+  return acc;
+}
+
+OrderedTree RandomCircuit(Rng* rng, int depth) {
+  TreeNode n;
+  if (depth == 0 || rng->Chance(1, 3)) {
+    n.label = 2 + rng->Below(2);
+    return OrderedTree(std::move(n));
+  }
+  n.label = rng->Below(2);
+  size_t kids = 1 + rng->Below(3);
+  for (size_t i = 0; i < kids; ++i) {
+    OrderedTree sub = RandomCircuit(rng, depth - 1);
+    n.children.push_back(sub.root());
+  }
+  return OrderedTree(std::move(n));
+}
+
+TEST(Stepwise, CircuitEvaluation) {
+  StepwiseTreeAutomaton s = Circuits4();
+  Rng rng(1);
+  for (int iter = 0; iter < 200; ++iter) {
+    OrderedTree t = RandomCircuit(&rng, 4);
+    EXPECT_EQ(s.AcceptsTree(t), EvalCircuit(t.root())) << iter;
+  }
+}
+
+TEST(Stepwise, Lemma1SameStateCountAndLanguage) {
+  StepwiseTreeAutomaton s = Circuits4();
+  Nwa nwa = s.ToBottomUpNwa();
+  // Lemma 1: "a bottom-up NWA with s states".
+  EXPECT_EQ(nwa.num_states(), s.num_states());
+  EXPECT_TRUE(nwa.IsWeak());
+  EXPECT_TRUE(nwa.IsBottomUp());
+  Rng rng(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    OrderedTree t = RandomCircuit(&rng, 4);
+    EXPECT_EQ(nwa.Accepts(TreeToNestedWord(t)), s.AcceptsTree(t)) << iter;
+  }
+}
+
+TEST(TopDown, BinaryLabelConstraint) {
+  // Top-down automaton over binary trees: every left child of an a-node
+  // is b-rooted — states remember the expected constraint.
+  TopDownTreeAutomaton td(2);
+  StateId any = td.AddState();
+  StateId must_b = td.AddState();
+  td.set_initial(any);
+  td.SetBranch(any, 0, must_b, any);  // a-node: left must be b-rooted
+  td.SetBranch(any, 1, any, any);
+  td.SetBranch(must_b, 1, any, any);  // ok: it is b-rooted
+  td.SetLeafAccept(any, 0);
+  td.SetLeafAccept(any, 1);
+  td.SetLeafAccept(must_b, 1);
+
+  Alphabet sigma = Alphabet::Ab();
+  auto yes = ParseTree("a(b,a(b,b))", &sigma);
+  auto no = ParseTree("a(a(b,b),b)", &sigma);
+  ASSERT_TRUE(yes.ok() && no.ok());
+  EXPECT_TRUE(td.AcceptsTree(*yes));
+  EXPECT_FALSE(td.AcceptsTree(*no));
+}
+
+TEST(TopDown, LeafAcceptanceMatters) {
+  TopDownTreeAutomaton td(1);
+  StateId q = td.AddState();
+  td.set_initial(q);
+  td.SetBranch(q, 0, q, q);
+  Alphabet sigma = Alphabet::Ab();
+  auto leaf = ParseTree("a", &sigma);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_FALSE(td.AcceptsTree(*leaf));
+  td.SetLeafAccept(q, 0);
+  EXPECT_TRUE(td.AcceptsTree(*leaf));
+}
+
+}  // namespace
+}  // namespace nw

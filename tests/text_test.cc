@@ -1,0 +1,67 @@
+// Round-trip and error-handling tests for the Figure-1 text format.
+#include "nw/text.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/generate.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+TEST(Text, ParsesAllThreeKinds) {
+  Alphabet sigma;
+  auto r = ParseNestedWord("<a b c>", &sigma);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind(0), Kind::kCall);
+  EXPECT_EQ(r->kind(1), Kind::kInternal);
+  EXPECT_EQ(r->kind(2), Kind::kReturn);
+  EXPECT_EQ(sigma.size(), 3u);
+}
+
+TEST(Text, EmptyInputIsEmptyWord) {
+  Alphabet sigma;
+  auto r = ParseNestedWord("   ", &sigma);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(Text, RejectsCallReturnToken) {
+  Alphabet sigma;
+  EXPECT_FALSE(ParseNestedWord("<a>", &sigma).ok());
+}
+
+TEST(Text, RejectsEmptyName) {
+  Alphabet sigma;
+  EXPECT_FALSE(ParseNestedWord("<", &sigma).ok());
+  EXPECT_FALSE(ParseNestedWord(">", &sigma).ok());
+}
+
+TEST(Text, RejectsBadCharacters) {
+  Alphabet sigma;
+  EXPECT_FALSE(ParseNestedWord("a,b", &sigma).ok());
+}
+
+TEST(Text, MultiCharacterNames) {
+  Alphabet sigma;
+  auto r = ParseNestedWord("<open_tag text42 open_tag>", &sigma);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->symbol(0), r->symbol(2));
+  EXPECT_NE(r->symbol(0), r->symbol(1));
+}
+
+TEST(Text, FormatParseRoundTrip) {
+  Rng rng(99);
+  Alphabet sigma = Alphabet::Letters(4);
+  for (int iter = 0; iter < 100; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, sigma.size(), 25);
+    std::string s = FormatNestedWord(n, sigma);
+    Alphabet sigma2 = sigma;
+    auto back = ParseNestedWord(s, &sigma2);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, n);
+  }
+}
+
+}  // namespace
+}  // namespace nw

@@ -1,0 +1,127 @@
+// Tests for the SAX/XML bridge and the document queries from the paper's
+// introduction.
+#include "xml/xml.h"
+
+#include <gtest/gtest.h>
+
+#include "nw/text.h"
+
+namespace nw {
+namespace {
+
+TEST(Xml, TokenizerBasics) {
+  Alphabet sigma;
+  NestedWord n = XmlToNestedWord("<a><b>hi</b><c/></a>", &sigma);
+  // call a, call b, text, return b, call c, return c, return a
+  ASSERT_EQ(n.size(), 7u);
+  EXPECT_EQ(n.kind(0), Kind::kCall);
+  EXPECT_EQ(n.kind(2), Kind::kInternal);
+  EXPECT_EQ(n.kind(3), Kind::kReturn);
+  EXPECT_EQ(n.symbol(1), n.symbol(3));  // b matches b
+  EXPECT_TRUE(n.IsWellMatched());
+  EXPECT_TRUE(n.IsRooted());
+}
+
+TEST(Xml, MalformedDocumentsStillTokenize) {
+  // The paper's §1 point: nested words represent data that "may not parse
+  // correctly" — no error, just pending edges.
+  Alphabet sigma;
+  NestedWord unclosed = XmlToNestedWord("<a><b>", &sigma);
+  EXPECT_EQ(Matching(unclosed).pending_calls(), 2u);
+  NestedWord stray = XmlToNestedWord("</a>text", &sigma);
+  EXPECT_EQ(Matching(stray).pending_returns(), 1u);
+}
+
+TEST(Xml, AttributesSkippedSelfClosingHandled) {
+  Alphabet sigma;
+  NestedWord n = XmlToNestedWord("<a href=\"x\"><img src=\"y\"/></a>", &sigma);
+  ASSERT_EQ(n.size(), 4u);
+  EXPECT_TRUE(n.IsWellMatched());
+}
+
+TEST(Xml, WellFormedChecker) {
+  Alphabet sigma;
+  Nwa check = WellFormedChecker(4);
+  auto accepts = [&](const std::string& doc) {
+    Alphabet local;
+    // Pre-intern to keep symbol ids inside the checker's alphabet.
+    local.Intern("#text");
+    local.Intern("a");
+    local.Intern("b");
+    local.Intern("c");
+    return check.Accepts(XmlToNestedWord(doc, &local));
+  };
+  EXPECT_TRUE(accepts("<a><b>x</b></a>"));
+  EXPECT_TRUE(accepts("<a/><b/>"));
+  EXPECT_TRUE(accepts(""));
+  EXPECT_FALSE(accepts("<a><b></a></b>"));  // crossing close order
+  EXPECT_FALSE(accepts("<a>"));             // pending open
+  EXPECT_FALSE(accepts("</a>"));            // stray close
+}
+
+TEST(Xml, PatternOrderQuerySemantics) {
+  // Patterns 1, 2 (element names) must open in document order.
+  Nwa q = PatternOrderQuery({1, 2}, 4);
+  Alphabet sigma;
+  sigma.Intern("#text");
+  Symbol a = sigma.Intern("a");
+  Symbol b = sigma.Intern("b");
+  (void)a;
+  (void)b;
+  EXPECT_TRUE(q.Accepts(XmlToNestedWord("<a><b/></a>", &sigma)));
+  EXPECT_TRUE(q.Accepts(XmlToNestedWord("<c><a/><c><b/></c></c>", &sigma)));
+  EXPECT_FALSE(q.Accepts(XmlToNestedWord("<b><a/></b>", &sigma)));
+  EXPECT_FALSE(q.Accepts(XmlToNestedWord("<a/>", &sigma)));
+  // Malformed documents can still be queried (linear order only).
+  EXPECT_TRUE(q.Accepts(XmlToNestedWord("<a><b>", &sigma)));
+}
+
+TEST(Xml, PatternOrderQueryIsLinearSize) {
+  for (size_t n : {1u, 4u, 9u}) {
+    std::vector<Symbol> pats(n, 1);
+    Nwa q = PatternOrderQuery(pats, 3);
+    EXPECT_EQ(q.num_states(), n + 1);
+    EXPECT_TRUE(q.IsFlat());
+  }
+}
+
+TEST(Xml, MinDepthQuery) {
+  Nwa q = MinDepthQuery(3, 2);
+  Alphabet sigma;
+  sigma.Intern("#text");
+  sigma.Intern("d");
+  EXPECT_FALSE(q.Accepts(XmlToNestedWord("<d><d/></d>", &sigma)));
+  EXPECT_TRUE(q.Accepts(XmlToNestedWord("<d><d><d/></d></d>", &sigma)));
+  // Depth reached then left: still accepted (latched).
+  EXPECT_TRUE(
+      q.Accepts(XmlToNestedWord("<d><d><d/></d></d><d/>", &sigma)));
+}
+
+TEST(Xml, RandomDocumentsAreWellFormed) {
+  Rng rng(9);
+  Alphabet sigma;
+  sigma.Intern("#text");
+  sigma.Intern("a");
+  sigma.Intern("b");
+  for (int iter = 0; iter < 20; ++iter) {
+    std::string doc = RandomXmlDocument(&rng, sigma, 60, 6);
+    Alphabet local = sigma;
+    NestedWord n = XmlToNestedWord(doc, &local);
+    EXPECT_TRUE(n.IsWellMatched()) << doc;
+    EXPECT_LE(n.Depth(), 6u);
+  }
+}
+
+TEST(Xml, RoundTripRendering) {
+  Alphabet sigma;
+  NestedWord n = XmlToNestedWord("<a><b>x</b></a>", &sigma);
+  std::string xml = NestedWordToXml(n, sigma);
+  Alphabet sigma2;
+  // "." renders text; re-tokenizing gives the same structure.
+  NestedWord n2 = XmlToNestedWord(xml, &sigma2);
+  ASSERT_EQ(n2.size(), n.size());
+  for (size_t i = 0; i < n.size(); ++i) EXPECT_EQ(n2.kind(i), n.kind(i));
+}
+
+}  // namespace
+}  // namespace nw
