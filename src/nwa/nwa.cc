@@ -27,8 +27,14 @@ void Nwa::SetCall(StateId q, Symbol a, StateId linear, StateId hier) {
 }
 
 void Nwa::SetReturn(StateId q, StateId hier, Symbol a, StateId q2) {
+  // ReturnKey packs 24-bit states and a 16-bit symbol; an id outside these
+  // ranges would silently collide with another key, so reject it loudly in
+  // every build mode.
+  NW_CHECK_MSG(q <= kMaxPackedState && hier <= kMaxPackedState,
+               "state id %u/%u exceeds ReturnKey's 24-bit packing", q, hier);
+  NW_CHECK_MSG(a <= kMaxPackedSymbol,
+               "symbol id %u exceeds ReturnKey's 16-bit packing", a);
   NW_DCHECK(q < num_states() && hier < num_states() && a < num_symbols_);
-  NW_CHECK_MSG(a < (1u << 16), "symbol id space exhausted");
   returns_[ReturnKey(q, hier, a)] = q2;
 }
 
@@ -50,6 +56,27 @@ StateId Nwa::NextCallHier(StateId q, Symbol a) const {
 StateId Nwa::NextReturn(StateId q, StateId hier, Symbol a) const {
   auto it = returns_.find(ReturnKey(q, hier, a));
   return it == returns_.end() ? sink_ : it->second;
+}
+
+StateId Nwa::StepCall(StateId q, Symbol a, StateId* hier_out) const {
+  if (q == kNoState) {
+    *hier_out = kNoState;
+    return kNoState;
+  }
+  StateId h = NextCallHier(q, a);
+  StateId l = NextCallLinear(q, a);
+  if (l == kNoState || h == kNoState) {
+    *hier_out = kNoState;
+    return kNoState;
+  }
+  *hier_out = h;
+  return l;
+}
+
+StateId Nwa::StepReturn(StateId q, StateId hier, Symbol a) const {
+  if (q == kNoState) return kNoState;
+  if (hier == kNoState) hier = hier_initial_;
+  return NextReturn(q, hier, a);
 }
 
 void Nwa::Totalize() {
@@ -120,29 +147,23 @@ bool NwaRunner::Feed(TaggedSymbol t) {
   if (dead_) return false;
   switch (t.kind) {
     case Kind::kInternal:
-      state_ = a_.NextInternal(state_, t.symbol);
+      state_ = a_.StepInternal(state_, t.symbol);
       break;
     case Kind::kCall: {
-      StateId h = a_.NextCallHier(state_, t.symbol);
-      StateId l = a_.NextCallLinear(state_, t.symbol);
-      if (l == kNoState || h == kNoState) {
-        state_ = kNoState;
-        break;
-      }
+      StateId h;
+      state_ = a_.StepCall(state_, t.symbol, &h);
+      if (state_ == kNoState) break;
       stack_.push_back(h);
       if (stack_.size() > max_stack_) max_stack_ = stack_.size();
-      state_ = l;
       break;
     }
     case Kind::kReturn: {
-      StateId h;
-      if (stack_.empty()) {
-        h = a_.hier_initial();  // pending return (paper: q_{−∞j} = q0)
-      } else {
+      StateId h = kNoState;  // pending return (paper: q_{−∞j} = q0)
+      if (!stack_.empty()) {
         h = stack_.back();
         stack_.pop_back();
       }
-      state_ = a_.NextReturn(state_, h, t.symbol);
+      state_ = a_.StepReturn(state_, h, t.symbol);
       break;
     }
   }

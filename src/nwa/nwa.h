@@ -69,6 +69,28 @@ class Nwa {
   /// True if every transition resolves (possibly via the sink).
   bool HasSink() const { return sink_ != kNoState; }
 
+  // -- Single-position step API. --
+  //
+  // The caller owns the run state (current linear state) and the
+  // hierarchical stack; each step consumes one tagged position and returns
+  // the next linear state, or kNoState once the run is dead. NwaRunner is
+  // a thin convenience wrapper over these; the batched query engine
+  // (src/query/engine.h) drives many automata over one shared stack with
+  // the same calls.
+
+  /// Internal position: returns δi(q, a) (kNoState = dead).
+  StateId StepInternal(StateId q, Symbol a) const {
+    return q == kNoState ? kNoState : NextInternal(q, a);
+  }
+  /// Call position: returns the linear target and writes the state to push
+  /// on the caller's stack to `*hier_out`. A call dies (returns kNoState,
+  /// writes kNoState) unless *both* components of δc(q, a) are defined.
+  StateId StepCall(StateId q, Symbol a, StateId* hier_out) const;
+  /// Return position: `hier` is the frame popped from the caller's stack,
+  /// or kNoState for a pending return (reads hier_initial(), the paper's
+  /// q_{−∞j} = q0 convention). Returns δr(q, hier, a).
+  StateId StepReturn(StateId q, StateId hier, Symbol a) const;
+
   /// Makes the automaton total by adding (or reusing) a non-final sink
   /// state that absorbs every missing transition. Idempotent.
   void Totalize();
@@ -92,9 +114,12 @@ class Nwa {
  private:
   friend class NwaRunner;
 
+  static constexpr StateId kMaxPackedState = (1u << 24) - 1;
+  static constexpr Symbol kMaxPackedSymbol = (1u << 16) - 1;
+
   static uint64_t ReturnKey(StateId q, StateId hier, Symbol a) {
     // 24 bits per state, 16 bits per symbol: ample for this library's
-    // experiments and asserted on insertion.
+    // experiments and asserted on insertion (SetReturn).
     return (static_cast<uint64_t>(q) << 40) |
            (static_cast<uint64_t>(hier) << 16) | a;
   }

@@ -1,0 +1,115 @@
+#include "query/compile.h"
+
+#include "nwa/determinize.h"
+#include "nwa/language_ops.h"
+#include "support/check.h"
+#include "wordauto/dfa.h"
+#include "wordauto/regex.h"
+#include "xml/xml.h"
+
+namespace nw {
+
+namespace {
+
+/// Word regex over element names whose language is the set of root paths
+/// matched by `steps`: child steps append their name, descendant steps
+/// append Σ* first, wildcards append Σ.
+Regex PathRegex(const std::vector<PathStep>& steps, size_t num_symbols) {
+  Regex r = Regex::Eps();
+  for (const PathStep& s : steps) {
+    if (s.axis == Axis::kDescendant) {
+      r = Regex::Cat(std::move(r), Regex::Star(Regex::Any(num_symbols)));
+    }
+    r = Regex::Cat(std::move(r), s.name == Alphabet::kNoSymbol
+                                     ? Regex::Any(num_symbols)
+                                     : Regex::Sym(s.name));
+  }
+  return r;
+}
+
+/// Lowers a query atom to its deterministic automaton.
+Nwa CompileAtom(const Query& q, size_t num_symbols) {
+  switch (q.op()) {
+    case Query::Op::kPath:
+      return CompilePathNwa(q.steps(), num_symbols);
+    case Query::Op::kOrder:
+      for (Symbol s : q.names()) NW_CHECK(s < num_symbols);
+      return PatternOrderQuery(q.names(), num_symbols);
+    case Query::Op::kMinDepth:
+      return MinDepthQuery(q.min_depth(), num_symbols);
+    default:
+      NW_CHECK_MSG(false, "not an atom");
+      __builtin_unreachable();
+  }
+}
+
+/// Recursive lowering to the nondeterministic representation the closure
+/// ops compose.
+Nnwa ToNnwa(const Query& q, size_t num_symbols) {
+  switch (q.op()) {
+    case Query::Op::kAnd:
+      return Intersect(ToNnwa(q.left(), num_symbols),
+                       ToNnwa(q.right(), num_symbols));
+    case Query::Op::kOr:
+      return Union(ToNnwa(q.left(), num_symbols),
+                   ToNnwa(q.right(), num_symbols));
+    case Query::Op::kNot:
+      return ComplementN(ToNnwa(q.left(), num_symbols));
+    default:
+      return Nnwa::FromNwa(CompileAtom(q, num_symbols));
+  }
+}
+
+}  // namespace
+
+Nwa CompilePathNwa(const std::vector<PathStep>& steps, size_t num_symbols) {
+  NW_CHECK(!steps.empty());
+  for (const PathStep& s : steps) {
+    NW_CHECK(s.name == Alphabet::kNoSymbol || s.name < num_symbols);
+  }
+  Dfa d = PathRegex(steps, num_symbols)
+              .Compile(num_symbols)
+              .Determinize()
+              .Totalize();
+  // NWA state i mirrors DFA state i (the DFA state of the current
+  // ancestor-name chain); one extra latch state records "some element
+  // already matched".
+  Nwa a(num_symbols);
+  for (StateId q = 0; q < d.num_states(); ++q) a.AddState(false);
+  StateId latch = a.AddState(true);
+  a.set_initial(d.initial());
+  // A pending return resets the context to the root: hierarchical edges
+  // of pending returns read the DFA's initial state.
+  a.set_hier_initial(d.initial());
+  for (StateId q = 0; q < d.num_states(); ++q) {
+    for (Symbol s = 0; s < num_symbols; ++s) {
+      // Text and other internal positions do not change the element path.
+      a.SetInternal(q, s, q);
+      // Opening <s> extends the path; the parent context q rides the
+      // hierarchical edge and is restored at the matching close tag.
+      StateId t = d.Next(q, s);
+      a.SetCall(q, s, d.is_final(t) ? latch : t, q);
+      for (StateId h = 0; h < d.num_states(); ++h) {
+        a.SetReturn(q, h, s, h);
+      }
+      // A frame pushed by the latch can only be observed by the latch
+      // itself (all latch successors stay latched), so (q, latch) pairs
+      // need no rule.
+    }
+  }
+  for (Symbol s = 0; s < num_symbols; ++s) {
+    a.SetInternal(latch, s, latch);
+    a.SetCall(latch, s, latch, latch);
+    for (StateId h = 0; h <= latch; ++h) a.SetReturn(latch, h, s, latch);
+  }
+  return a;
+}
+
+Nwa CompileQuery(const Query& q, size_t num_symbols) {
+  // Atoms are already deterministic; only boolean combinations pay for
+  // the closure-op round trip and determinization.
+  if (q.is_atom()) return CompileAtom(q, num_symbols);
+  return Determinize(ToNnwa(q, num_symbols)).nwa;
+}
+
+}  // namespace nw

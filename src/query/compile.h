@@ -1,0 +1,39 @@
+// NWQuery → deterministic NWA compilation (paper §3.2): each query atom
+// becomes a small deterministic automaton over the tagged stream, and the
+// boolean connectives lower through the nondeterministic closure ops
+// (language_ops.h) followed by determinization (determinize.h).
+//
+// Atom constructions:
+//  * Path atoms (/a//b/*) compile the root-path language to a word regex
+//    (child step = name, descendant step = Σ* name, wildcard = Σ), then a
+//    DFA; the NWA advances the DFA along the current ancestor chain —
+//    calls step it forward pushing the parent context on the hierarchical
+//    edge, returns restore it — and latches an accept state the moment
+//    some element's root path lands in the DFA's language. This is the
+//    paper's point that word automata track linear order while NWAs track
+//    the hierarchy with the same streaming interface.
+//  * Order atoms (a then b) reuse PatternOrderQuery (flat NWA, §3.3).
+//  * Depth guards (depth >= k) reuse MinDepthQuery.
+#ifndef NW_QUERY_COMPILE_H_
+#define NW_QUERY_COMPILE_H_
+
+#include "nwa/nwa.h"
+#include "query/nwquery.h"
+
+namespace nw {
+
+/// Compiles `q` to a deterministic NWA over symbols [0, num_symbols).
+/// Every symbol interned in the query must be < num_symbols; documents
+/// streamed against the result must remap out-of-range symbols (names
+/// interned after compilation) to a fixed in-range catch-all — see
+/// QueryEngine::set_other_symbol.
+Nwa CompileQuery(const Query& q, size_t num_symbols);
+
+/// The path-atom automaton exposed for tests: accepts exactly the streams
+/// in which some element's chain of enclosing element names (root first,
+/// the element itself last) matches `steps`.
+Nwa CompilePathNwa(const std::vector<PathStep>& steps, size_t num_symbols);
+
+}  // namespace nw
+
+#endif  // NW_QUERY_COMPILE_H_

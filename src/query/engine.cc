@@ -1,0 +1,113 @@
+#include "query/engine.h"
+
+#include "support/check.h"
+
+namespace nw {
+
+size_t QueryEngine::Add(const Nwa* a) {
+  NW_CHECK_MSG(a->num_symbols() == num_symbols_,
+               "query automaton symbol space mismatch");
+  // Discard frames a previous stream left pending (unclosed opens are
+  // legal input): frames hold one slot per query, so they cannot survive
+  // a bank-size change. Any in-progress stream is invalidated.
+  stack_.clear();
+  autos_.push_back(a);
+  state_.push_back(a->initial());
+  live_ += a->initial() != kNoState;
+  return autos_.size() - 1;
+}
+
+void QueryEngine::set_other_symbol(Symbol s) {
+  NW_CHECK_MSG(s < num_symbols_, "catch-all symbol out of range");
+  other_ = s;
+}
+
+void QueryEngine::BeginStream() {
+  live_ = 0;
+  for (size_t i = 0; i < autos_.size(); ++i) {
+    state_[i] = autos_[i]->initial();
+    live_ += state_[i] != kNoState;
+  }
+  stack_.clear();
+  max_frames_ = 0;
+  ++traversals_;
+}
+
+size_t QueryEngine::Feed(TaggedSymbol t) {
+  ++positions_;
+  const size_t k = autos_.size();
+  if (k == 0) return 0;
+  Symbol s = t.symbol;
+  if (s >= num_symbols_) {
+    NW_CHECK_MSG(other_ != Alphabet::kNoSymbol,
+                 "stream symbol %u outside the compiled space and no "
+                 "catch-all configured",
+                 s);
+    s = other_;
+  }
+  // Liveness is tracked incrementally (dead runs stay dead, so a query
+  // leaves the live count exactly once) — no extra O(K) scan per position.
+  switch (t.kind) {
+    case Kind::kInternal:
+      for (size_t i = 0; i < k; ++i) {
+        StateId next = autos_[i]->StepInternal(state_[i], s);
+        live_ -= state_[i] != kNoState && next == kNoState;
+        state_[i] = next;
+      }
+      break;
+    case Kind::kCall: {
+      // One shared frame per call position: K hierarchical states,
+      // contiguous. Dead queries park kNoState in their slot.
+      size_t base = stack_.size();
+      stack_.resize(base + k);
+      for (size_t i = 0; i < k; ++i) {
+        StateId next = autos_[i]->StepCall(state_[i], s, &stack_[base + i]);
+        live_ -= state_[i] != kNoState && next == kNoState;
+        state_[i] = next;
+      }
+      size_t frames = stack_.size() / k;
+      if (frames > max_frames_) max_frames_ = frames;
+      break;
+    }
+    case Kind::kReturn: {
+      size_t base = stack_.empty() ? 0 : stack_.size() - k;
+      for (size_t i = 0; i < k; ++i) {
+        // Pending return (empty stack): every query reads hier_initial.
+        StateId h = stack_.empty() ? kNoState : stack_[base + i];
+        StateId next = autos_[i]->StepReturn(state_[i], h, s);
+        live_ -= state_[i] != kNoState && next == kNoState;
+        state_[i] = next;
+      }
+      if (!stack_.empty()) stack_.resize(base);
+      break;
+    }
+  }
+  return live_;
+}
+
+std::vector<bool> QueryEngine::RunAll(const NestedWord& n) {
+  BeginStream();
+  for (const TaggedSymbol& t : n.tagged()) {
+    if (Feed(t) == 0) break;  // every run dead: acceptance is settled
+  }
+  return Results();
+}
+
+std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
+                                      Alphabet* alphabet) {
+  BeginStream();
+  XmlTokenStream stream(xml_text, alphabet);
+  TaggedSymbol t;
+  while (stream.Next(&t)) {
+    if (Feed(t) == 0) break;  // every run dead: acceptance is settled
+  }
+  return Results();
+}
+
+std::vector<bool> QueryEngine::Results() const {
+  std::vector<bool> out(autos_.size());
+  for (size_t i = 0; i < autos_.size(); ++i) out[i] = Accepting(i);
+  return out;
+}
+
+}  // namespace nw

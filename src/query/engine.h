@@ -1,0 +1,106 @@
+// Batched streaming query evaluation. A QueryEngine registers K compiled
+// deterministic NWAs and runs all of them over ONE tagged stream in a
+// single pass: per position it advances K linear states stored in a
+// struct-of-arrays bank, and per call position it pushes ONE shared stack
+// frame holding the K hierarchical-edge states contiguously. K queries
+// therefore cost one stream traversal instead of K, and the resident run
+// state is K·(depth+1) StateIds — the paper's §3.2 depth-bounded-memory
+// guarantee, amortized across the whole query bank.
+#ifndef NW_QUERY_ENGINE_H_
+#define NW_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "nw/nested_word.h"
+#include "nwa/nwa.h"
+#include "xml/xml.h"
+
+namespace nw {
+
+class QueryEngine {
+ public:
+  /// All registered automata must be over the same [0, num_symbols)
+  /// symbol space.
+  explicit QueryEngine(size_t num_symbols) : num_symbols_(num_symbols) {}
+
+  /// Registers a compiled query; returns its dense id. `a` must outlive
+  /// the engine. Registration invalidates any in-progress stream (shared
+  /// frames are sized to the bank): call BeginStream() before feeding
+  /// more. Results of a completed stream stay readable.
+  size_t Add(const Nwa* a);
+
+  /// Stream symbols >= num_symbols() (element names interned after the
+  /// queries were compiled) are remapped to this in-range catch-all
+  /// before stepping. Without one, out-of-range symbols abort.
+  void set_other_symbol(Symbol s);
+
+  size_t num_queries() const { return autos_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// Starts a new traversal: resets every query's run state to its
+  /// initial state and bumps the traversal counter.
+  void BeginStream();
+
+  /// Consumes one position for every query at once. Returns the number
+  /// of still-live runs (0 = every query is dead; the caller may stop
+  /// early, acceptance can no longer change).
+  size_t Feed(TaggedSymbol t);
+
+  /// Would query `id` accept the stream fed so far?
+  bool Accepting(size_t id) const {
+    return state_[id] != kNoState && autos_[id]->is_final(state_[id]);
+  }
+  bool dead(size_t id) const { return state_[id] == kNoState; }
+
+  /// Convenience: one traversal of `n`; element [id] of the result is
+  /// query id's acceptance.
+  std::vector<bool> RunAll(const NestedWord& n);
+
+  /// Streaming form: tokenizes `xml_text` position by position straight
+  /// into the bank — no materialized NestedWord, so total memory really
+  /// is the O(K·depth) run state. New element names intern into
+  /// `*alphabet` (remapped via set_other_symbol when out of range).
+  std::vector<bool> RunAll(const std::string& xml_text, Alphabet* alphabet);
+
+  /// Number of BeginStream() calls — the "K queries, one traversal"
+  /// witness asserted by tests and reported by the benchmarks.
+  size_t traversals() const { return traversals_; }
+  /// Total positions consumed across all traversals.
+  size_t positions() const { return positions_; }
+
+  /// Shared stack frames currently held (= pending calls of the stream).
+  size_t StackDepth() const { return stack_.size() / AtLeastOne(); }
+  /// High-water mark of StackDepth() within the current stream (reset by
+  /// BeginStream), so per-document statistics stay per-document.
+  size_t MaxStackDepth() const { return max_frames_; }
+  /// Peak resident run-state footprint of the current stream, in
+  /// StateIds: K linear states plus K per shared stack frame at the
+  /// stack's high-water mark — O(K·depth), independent of stream length.
+  size_t ResidentStates() const {
+    return state_.size() + autos_.size() * max_frames_;
+  }
+
+ private:
+  size_t AtLeastOne() const { return autos_.empty() ? 1 : autos_.size(); }
+  /// Per-query acceptance of the stream fed so far.
+  std::vector<bool> Results() const;
+
+  size_t num_symbols_;
+  Symbol other_ = Alphabet::kNoSymbol;
+  std::vector<const Nwa*> autos_;
+  /// Linear state per query; kNoState = that query's run is dead.
+  std::vector<StateId> state_;
+  /// Shared hierarchical stack, frame-major: the frame pushed by the
+  /// f-th pending call occupies [f*K, (f+1)*K).
+  std::vector<StateId> stack_;
+  size_t max_frames_ = 0;
+  size_t traversals_ = 0;
+  size_t positions_ = 0;
+  /// Runs not yet dead — maintained incrementally by Feed.
+  size_t live_ = 0;
+};
+
+}  // namespace nw
+
+#endif  // NW_QUERY_ENGINE_H_

@@ -1,0 +1,224 @@
+// nwquery — streaming NWQuery evaluation over XML documents.
+//
+//   nwquery [options] <query-file> [xml-file ...]
+//
+// The query file holds one NWQuery per line ('#' starts a comment). All
+// queries are compiled to deterministic NWAs up front, then every
+// document — files and/or generated random documents — is streamed
+// exactly once through the batched QueryEngine.
+//
+// Options:
+//   --random N      also evaluate over N generated random documents
+//   --positions P   approximate positions per random document (default 2000)
+//   --depth D       maximum depth of random documents (default 16)
+//   --seed S        random document seed (default 42)
+//   --stats         print per-document traversal / memory statistics
+//   --quiet         suppress per-query match lines
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/compile.h"
+#include "query/engine.h"
+#include "query/nwquery.h"
+#include "support/rng.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace nw;
+
+struct Options {
+  std::string query_file;
+  std::vector<std::string> xml_files;
+  size_t random_docs = 0;
+  size_t positions = 2000;
+  size_t depth = 16;
+  uint64_t seed = 42;
+  bool stats = false;
+  bool quiet = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nwquery [--random N] [--positions P] [--depth D] "
+               "[--seed S] [--stats] [--quiet] <query-file> [xml-file ...]\n");
+  return 2;
+}
+
+/// Strict decimal parse; rejects empty, non-digit, and overflowing input
+/// (std::stoul would throw — the CLI must not crash on a typo).
+bool ParseUint(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  uint64_t v = 0;
+  for (; *s; ++s) {
+    if (*s < '0' || *s > '9') return false;
+    if (v > (UINT64_MAX - 9) / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(*s - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](uint64_t* out) {
+      const char* v = i + 1 < argc ? argv[++i] : nullptr;
+      if (ParseUint(v, out)) return true;
+      std::fprintf(stderr, "nwquery: %s needs a numeric value\n",
+                   arg.c_str());
+      return false;
+    };
+    uint64_t v = 0;
+    if (arg == "--random") {
+      if (!value(&v)) return false;
+      opt->random_docs = v;
+    } else if (arg == "--positions") {
+      if (!value(&v)) return false;
+      opt->positions = v;
+    } else if (arg == "--depth") {
+      if (!value(&v)) return false;
+      opt->depth = v;
+    } else if (arg == "--seed") {
+      if (!value(&v)) return false;
+      opt->seed = v;
+    } else if (arg == "--stats") {
+      opt->stats = true;
+    } else if (arg == "--quiet") {
+      opt->quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "nwquery: unknown option %s\n", arg.c_str());
+      return false;
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (opt->random_docs > 0 && opt->depth == 0) {
+    std::fprintf(stderr,
+                 "nwquery: --depth must be >= 1 (documents need a root)\n");
+    return false;
+  }
+  if (positional.empty()) return false;
+  opt->query_file = positional[0];
+  opt->xml_files.assign(positional.begin() + 1, positional.end());
+  return opt->random_docs > 0 || !opt->xml_files.empty();
+}
+
+/// Streams one document through the engine and reports results.
+void EvaluateDocument(const std::string& label, const std::string& text,
+                      const std::vector<std::string>& query_texts,
+                      Alphabet* alphabet, QueryEngine* engine,
+                      const Options& opt) {
+  size_t positions_before = engine->positions();
+  std::vector<bool> results = engine->RunAll(text, alphabet);
+  size_t doc_positions = engine->positions() - positions_before;
+  size_t matched = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    matched += results[i];
+    if (!opt.quiet) {
+      std::printf("%s\t%s\tquery[%zu]\t%s\n", label.c_str(),
+                  results[i] ? "MATCH" : "no-match", i,
+                  query_texts[i].c_str());
+    }
+  }
+  if (opt.stats) {
+    std::printf(
+        "%s\tstats\tpositions=%zu matched=%zu/%zu max_depth=%zu "
+        "resident_states=%zu traversals=%zu\n",
+        label.c_str(), doc_positions, matched, engine->num_queries(),
+        engine->MaxStackDepth(), engine->ResidentStates(),
+        engine->traversals());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) return Usage();
+
+  std::ifstream qf(opt.query_file);
+  if (!qf) {
+    std::fprintf(stderr, "nwquery: cannot open %s\n", opt.query_file.c_str());
+    return 1;
+  }
+
+  // Phase 1: parse every query, interning element names.
+  Alphabet alphabet;
+  std::vector<Query> queries;
+  std::vector<std::string> query_texts;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(qf, line)) {
+    ++lineno;
+    std::string stripped = line.substr(0, line.find('#'));
+    if (stripped.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<Query> q = ParseQuery(stripped, &alphabet);
+    if (!q.ok()) {
+      std::fprintf(stderr, "nwquery: %s:%zu: %s\n", opt.query_file.c_str(),
+                   lineno, q.status().message().c_str());
+      return 1;
+    }
+    queries.push_back(q.Take());
+    query_texts.push_back(FormatQuery(queries.back(), alphabet));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "nwquery: %s holds no queries\n",
+                 opt.query_file.c_str());
+    return 1;
+  }
+
+  // Phase 2: fix the symbol space — query names, the text pseudo-symbol,
+  // and a catch-all for element names first seen inside documents — and
+  // compile every query over it.
+  alphabet.Intern("#text");
+  Symbol other = alphabet.Intern("%other");
+  const size_t num_symbols = alphabet.size();
+  std::vector<Nwa> compiled;
+  compiled.reserve(queries.size());
+  for (const Query& q : queries) {
+    compiled.push_back(CompileQuery(q, num_symbols));
+  }
+
+  QueryEngine engine(num_symbols);
+  engine.set_other_symbol(other);
+  for (const Nwa& a : compiled) engine.Add(&a);
+
+  // Phase 3: stream every document once through the whole query bank.
+  for (const std::string& path : opt.xml_files) {
+    std::ifstream df(path);
+    if (!df) {
+      std::fprintf(stderr, "nwquery: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << df.rdbuf();
+    std::string text = buf.str();
+    EvaluateDocument(path, text, query_texts, &alphabet, &engine, opt);
+  }
+
+  if (opt.random_docs > 0) {
+    // Generator alphabet: the element names the queries mention (skipping
+    // the pseudo-symbols) plus one name the queries do not know, so the
+    // catch-all remapping path is exercised.
+    Alphabet gen;
+    for (Symbol s = 0; s < num_symbols; ++s) {
+      const std::string& name = alphabet.Name(s);
+      if (name != "#text" && name != "%other") gen.Intern(name);
+    }
+    gen.Intern("unlisted");
+    Rng rng(opt.seed);
+    for (size_t d = 0; d < opt.random_docs; ++d) {
+      std::string text =
+          RandomXmlDocument(&rng, gen, opt.positions, opt.depth);
+      EvaluateDocument("random[" + std::to_string(d) + "]", text,
+                       query_texts, &alphabet, &engine, opt);
+    }
+  }
+  return 0;
+}

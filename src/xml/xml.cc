@@ -6,10 +6,13 @@
 
 namespace nw {
 
-NestedWord XmlToNestedWord(const std::string& text, Alphabet* alphabet) {
-  NestedWord out;
-  Symbol text_sym = alphabet->Intern("#text");
-  size_t i = 0;
+bool XmlTokenStream::Next(TaggedSymbol* out) {
+  if (queued_return_ != Alphabet::kNoSymbol) {
+    *out = Return(queued_return_);
+    queued_return_ = Alphabet::kNoSymbol;
+    return true;
+  }
+  const std::string& text = text_;
   auto read_name = [&](size_t* pos) {
     size_t start = *pos;
     while (*pos < text.size() &&
@@ -19,41 +22,95 @@ NestedWord XmlToNestedWord(const std::string& text, Alphabet* alphabet) {
     }
     return text.substr(start, *pos - start);
   };
-  while (i < text.size()) {
-    if (text[i] == '<') {
-      if (i + 1 < text.size() && text[i + 1] == '/') {
-        size_t j = i + 2;
+  while (pos_ < text.size()) {
+    if (text[pos_] == '<') {
+      // Comments, doctype declarations, and processing instructions are
+      // not elements: skip them wholesale so a '/' or '>' inside (URLs,
+      // "a > b") cannot fabricate calls or returns.
+      if (pos_ + 1 < text.size() &&
+          (text[pos_ + 1] == '!' || text[pos_ + 1] == '?')) {
+        if (text.compare(pos_, 4, "<!--") == 0) {
+          size_t end = text.find("-->", pos_ + 4);
+          pos_ = end == std::string::npos ? text.size() : end + 3;
+        } else if (text.compare(pos_, 9, "<![CDATA[") == 0) {
+          // CDATA is character data (SAX semantics): a non-empty body is
+          // a text chunk, never markup.
+          size_t body = pos_ + 9;
+          size_t end = text.find("]]>", body);
+          size_t body_end = end == std::string::npos ? text.size() : end;
+          pos_ = end == std::string::npos ? text.size() : end + 3;
+          if (body_end > body) {
+            if (text_sym_ == Alphabet::kNoSymbol) {
+              text_sym_ = alphabet_->Intern("#text");
+            }
+            *out = Internal(text_sym_);
+            return true;
+          }
+        } else {
+          // Doctype / PI: end at '>' — but a DOCTYPE internal subset
+          // ([...]) may itself contain markup, so only a '>' outside the
+          // brackets terminates the construct.
+          size_t j = pos_ + 2;
+          int brackets = 0;
+          while (j < text.size() &&
+                 (text[j] != '>' || brackets > 0)) {
+            brackets += text[j] == '[';
+            brackets -= text[j] == ']';
+            ++j;
+          }
+          pos_ = j < text.size() ? j + 1 : text.size();
+        }
+        continue;
+      }
+      if (pos_ + 1 < text.size() && text[pos_ + 1] == '/') {
+        size_t j = pos_ + 2;
         std::string name = read_name(&j);
         while (j < text.size() && text[j] != '>') ++j;
         if (j < text.size()) ++j;
-        out.Push(Return(alphabet->Intern(name)));
-        i = j;
-      } else {
-        size_t j = i + 1;
-        std::string name = read_name(&j);
-        bool self_closing = false;
-        while (j < text.size() && text[j] != '>') {
-          if (text[j] == '/') self_closing = true;
-          ++j;
-        }
-        if (j < text.size()) ++j;
-        Symbol s = alphabet->Intern(name);
-        out.Push(Call(s));
-        if (self_closing) out.Push(Return(s));
-        i = j;
+        pos_ = j;
+        *out = Return(alphabet_->Intern(name));
+        return true;
       }
-    } else {
-      size_t j = i;
-      bool nonspace = false;
-      while (j < text.size() && text[j] != '<') {
-        nonspace = nonspace ||
-                   !std::isspace(static_cast<unsigned char>(text[j]));
+      size_t j = pos_ + 1;
+      std::string name = read_name(&j);
+      // Self-closing only when the '/' immediately precedes '>' — a '/'
+      // inside an attribute value (<a href="x/y">) does not count.
+      bool self_closing = false;
+      while (j < text.size() && text[j] != '>') {
+        self_closing = text[j] == '/';
         ++j;
       }
-      if (nonspace) out.Push(Internal(text_sym));
-      i = j;
+      if (j < text.size()) ++j;
+      pos_ = j;
+      Symbol s = alphabet_->Intern(name);
+      if (self_closing) queued_return_ = s;
+      *out = Call(s);
+      return true;
+    }
+    size_t j = pos_;
+    bool nonspace = false;
+    while (j < text.size() && text[j] != '<') {
+      nonspace =
+          nonspace || !std::isspace(static_cast<unsigned char>(text[j]));
+      ++j;
+    }
+    pos_ = j;
+    if (nonspace) {
+      if (text_sym_ == Alphabet::kNoSymbol) {
+        text_sym_ = alphabet_->Intern("#text");
+      }
+      *out = Internal(text_sym_);
+      return true;
     }
   }
+  return false;
+}
+
+NestedWord XmlToNestedWord(const std::string& text, Alphabet* alphabet) {
+  NestedWord out;
+  XmlTokenStream stream(text, alphabet);
+  TaggedSymbol t;
+  while (stream.Next(&t)) out.Push(t);
   return out;
 }
 

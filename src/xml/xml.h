@@ -17,10 +17,38 @@
 
 namespace nw {
 
-/// Tokenizes `text` into a nested word. Element names are interned into
-/// `*alphabet`; all text chunks intern as the pseudo-symbol "#text".
-/// Attributes are skipped; malformed input never fails — stray close tags
-/// become pending returns, unclosed opens pending calls.
+/// Incremental pull tokenizer over SAX-style XML text. Yields one tagged
+/// position at a time so consumers (NwaRunner, the query engine) can
+/// stream a document with memory bounded by its depth instead of its
+/// length. Element names are interned into `*alphabet`; text chunks intern
+/// the pseudo-symbol "#text" lazily — a document with no text chunks never
+/// allocates it. Attributes are skipped; self-closing tags (`<a/>`) emit a
+/// call immediately followed by a return; malformed input never fails —
+/// stray close tags become pending returns, unclosed opens pending calls.
+class XmlTokenStream {
+ public:
+  /// `text` and `alphabet` must outlive the stream.
+  XmlTokenStream(const std::string& text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+  /// The stream reads `text` incrementally; a temporary would dangle.
+  XmlTokenStream(std::string&& text, Alphabet* alphabet) = delete;
+
+  /// Produces the next position into `*out`; false at end of input.
+  bool Next(TaggedSymbol* out);
+
+ private:
+  const std::string& text_;
+  Alphabet* alphabet_;
+  size_t pos_ = 0;
+  /// "#text" symbol, interned on first use (lazy) and cached.
+  Symbol text_sym_ = Alphabet::kNoSymbol;
+  /// Return emitted right after a self-closing tag's call; kNoSymbol when
+  /// none is queued.
+  Symbol queued_return_ = Alphabet::kNoSymbol;
+};
+
+/// Tokenizes `text` into a materialized nested word (XmlTokenStream run to
+/// completion). Same conventions as the streaming form.
 NestedWord XmlToNestedWord(const std::string& text, Alphabet* alphabet);
 
 /// Renders a nested word back to XML-ish text (internal positions render

@@ -264,6 +264,59 @@ TEST(Nwa, Thm8PathAutomatonMatchesOracle) {
   }
 }
 
+TEST(NwaDeathTest, SetReturnRejectsIdsOutsidePackedRange) {
+  // ReturnKey packs 24-bit states and a 16-bit symbol; out-of-range ids
+  // must abort instead of silently colliding with another key.
+  Nwa a(1);
+  StateId q = a.AddState(true);
+  a.set_initial(q);
+  EXPECT_DEATH(a.SetReturn(1u << 24, q, 0, q), "24-bit packing");
+  EXPECT_DEATH(a.SetReturn(q, 1u << 24, 0, q), "24-bit packing");
+  EXPECT_DEATH(a.SetReturn(q, q, 1u << 16, q), "16-bit packing");
+  // In-range insertion still works.
+  a.SetReturn(q, q, 0, q);
+  EXPECT_EQ(a.NextReturn(q, q, 0), q);
+}
+
+TEST(Nwa, StepApiMatchesRunner) {
+  // The external-state step API must agree with NwaRunner on every
+  // position kind, including death on missing transitions and pending
+  // returns reading hier_initial.
+  Nwa a = Thm3PathNwa(2);
+  Rng rng(41);
+  for (int iter = 0; iter < 200; ++iter) {
+    NestedWord n = RandomNestedWord(&rng, 2, rng.Below(12));
+    NwaRunner r(a);
+    StateId q = a.initial();
+    std::vector<StateId> stack;
+    for (const TaggedSymbol& t : n.tagged()) {
+      r.Feed(t);
+      switch (t.kind) {
+        case Kind::kInternal:
+          q = a.StepInternal(q, t.symbol);
+          break;
+        case Kind::kCall: {
+          StateId h;
+          q = a.StepCall(q, t.symbol, &h);
+          if (q != kNoState) stack.push_back(h);
+          break;
+        }
+        case Kind::kReturn: {
+          StateId h = kNoState;
+          if (!stack.empty()) {
+            h = stack.back();
+            stack.pop_back();
+          }
+          q = a.StepReturn(q, h, t.symbol);
+          break;
+        }
+      }
+      EXPECT_EQ(q == kNoState, r.dead());
+      if (!r.dead()) EXPECT_EQ(q, r.state());
+    }
+  }
+}
+
 TEST(Nwa, NumTransitionsCountsDefinedOnly) {
   Nwa a(2);
   StateId q = a.AddState(true);

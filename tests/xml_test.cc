@@ -39,6 +39,74 @@ TEST(Xml, AttributesSkippedSelfClosingHandled) {
   EXPECT_TRUE(n.IsWellMatched());
 }
 
+TEST(Xml, TextSymbolInternedLazily) {
+  // A document with no text chunks must not burn a symbol on "#text".
+  Alphabet sigma;
+  XmlToNestedWord("<a><b/></a>", &sigma);
+  EXPECT_EQ(sigma.Find("#text"), Alphabet::kNoSymbol);
+  EXPECT_EQ(sigma.size(), 2u);
+  // Once a text chunk appears, "#text" interns at the point of first use.
+  NestedWord n = XmlToNestedWord("<a>hi</a>", &sigma);
+  EXPECT_EQ(n.symbol(1), sigma.Find("#text"));
+}
+
+TEST(Xml, SlashInsideAttributeIsNotSelfClosing) {
+  Alphabet sigma;
+  NestedWord n = XmlToNestedWord("<a href=\"x/y\"></a>", &sigma);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.kind(0), Kind::kCall);
+  EXPECT_EQ(n.kind(1), Kind::kReturn);
+  // Self-closing still requires '/' immediately before '>'.
+  NestedWord m = XmlToNestedWord("<a href=\"x/y\"/>", &sigma);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.IsWellMatched());
+}
+
+TEST(Xml, CommentsDoctypeAndPisAreSkipped) {
+  Alphabet sigma;
+  // Slashes and '>' inside comments/PIs must not fabricate positions.
+  NestedWord n = XmlToNestedWord(
+      "<?xml version=\"1.0\"?><!DOCTYPE a>"
+      "<!-- see https://example.com, a > b --><a><b/></a><!-- tail",
+      &sigma);
+  ASSERT_EQ(n.size(), 4u);
+  EXPECT_TRUE(n.IsWellMatched());
+  EXPECT_EQ(sigma.Name(n.symbol(0)), "a");
+  EXPECT_EQ(sigma.Name(n.symbol(1)), "b");
+  // CDATA content is character data: one #text internal, never markup.
+  NestedWord c = XmlToNestedWord("<a><![CDATA[x > <b>]]></a>", &sigma);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.kind(0), Kind::kCall);
+  EXPECT_EQ(c.kind(1), Kind::kInternal);
+  EXPECT_EQ(c.kind(2), Kind::kReturn);
+  EXPECT_EQ(sigma.Name(c.symbol(1)), "#text");
+  // Empty CDATA emits nothing.
+  NestedWord e = XmlToNestedWord("<a><![CDATA[]]></a>", &sigma);
+  EXPECT_EQ(e.size(), 2u);
+  // A DOCTYPE internal subset ([...]) ends at the '>' outside the
+  // brackets — markup inside it must not leak into the stream.
+  NestedWord d = XmlToNestedWord(
+      "<!DOCTYPE a [<!ENTITY x \"v\"><b>]><a></a>", &sigma);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.IsWellMatched());
+  EXPECT_EQ(sigma.Name(d.symbol(0)), "a");
+}
+
+TEST(Xml, TokenStreamMatchesMaterializedWord) {
+  Alphabet sigma1, sigma2;
+  const std::string doc = "<a><b>hi</b><c/></a>text</d>";
+  NestedWord n = XmlToNestedWord(doc, &sigma1);
+  XmlTokenStream stream(doc, &sigma2);
+  TaggedSymbol t;
+  size_t i = 0;
+  while (stream.Next(&t)) {
+    ASSERT_LT(i, n.size());
+    EXPECT_EQ(t, n[i]) << i;
+    ++i;
+  }
+  EXPECT_EQ(i, n.size());
+}
+
 TEST(Xml, WellFormedChecker) {
   Alphabet sigma;
   Nwa check = WellFormedChecker(4);
