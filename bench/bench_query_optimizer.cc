@@ -1,0 +1,229 @@
+// E-OPT — the NWOpt optimizer subsystem's two headline claims:
+//
+//  1. State reduction: the PR-1 compiler round-trips boolean connectives
+//     through Nnwa closure + determinization and blows `not`-heavy
+//     queries up to hundreds of states; algebraic rewrites and congruence
+//     minimization win back the succinctness (acceptance bar: ≥5× on the
+//     `not`-heavy family after minimization, pinned by tests/opt_test.cc).
+//  2. Shared-bank stepping: compiling the whole bank into one product
+//     automaton lets the engine step ONE transition table per position
+//     instead of K; the throughput table sweeps K ∈ {1, 16, 64} against
+//     the struct-of-arrays path (acceptance bar: measurably faster at
+//     K = 16).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "opt/bank.h"
+#include "opt/minimize.h"
+#include "opt/pipeline.h"
+#include "opt/rewrite.h"
+#include "query/compile.h"
+#include "query/engine.h"
+#include "query/nwquery.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace nw;
+
+// The `not`-heavy family of the tests' regression, plus friends: every
+// query pays the ComplementN → Determinize round trip at least once.
+const char* kNotHeavyFamily[] = {
+    "not //b",
+    "not (a then b)",
+    "not (/a/b or /a/c)",
+    "not (//b or (a then b))",
+    "not (//a and //b and //c)",
+    "not (/a/b and not //c) and not //d",
+};
+
+/// States-before/after and per-stage compile time for each family member.
+void MinimizationTable() {
+  Table t("E-OPT: rewrite + minimization on the not-heavy family");
+  t.Header({"query", "compiled", "rewritten", "minimized", "all", "ratio",
+            "compile_ms", "opt_ms"});
+  size_t total_before = 0, total_after = 0;
+  for (const char* text : kNotHeavyFamily) {
+    Alphabet sigma;
+    for (const char* n : {"a", "b", "c", "d", "#text", "%other"}) {
+      sigma.Intern(n);
+    }
+    Query q = ParseQuery(text, &sigma).Take();
+    Stopwatch sw;
+    Nwa compiled = CompileQuery(q, sigma.size());
+    double compile_ms = sw.ElapsedMs();
+    sw.Reset();
+    Query rewritten = RewriteQuery(q);
+    Nwa rewritten_nwa = CompileQuery(rewritten, sigma.size());
+    MinimizeResult min_only = MinimizeNwa(compiled);
+    MinimizeResult all = MinimizeNwa(rewritten_nwa);
+    double opt_ms = sw.ElapsedMs();
+    total_before += compiled.num_states();
+    total_after += min_only.states_after;
+    t.Row({text, Table::Num(compiled.num_states()),
+           Table::Num(rewritten_nwa.num_states()),
+           Table::Num(min_only.states_after), Table::Num(all.states_after),
+           Table::Dbl(static_cast<double>(compiled.num_states()) /
+                          static_cast<double>(min_only.states_after),
+                      1),
+           Table::Dbl(compile_ms, 1), Table::Dbl(opt_ms, 1)});
+  }
+  t.Row({"TOTAL", Table::Num(total_before), "-", Table::Num(total_after), "-",
+         Table::Dbl(static_cast<double>(total_before) /
+                        static_cast<double>(total_after),
+                    1),
+         "-", "-"});
+  t.Print();
+  NW_CHECK(total_before >= 5 * total_after);  // the acceptance bar
+}
+
+// ---------------------------------------------------------------------------
+// Shared-bank throughput at K ∈ {1, 16, 64}
+// ---------------------------------------------------------------------------
+
+/// Query templates instantiated over rotating element names to build banks
+/// of any size without inventing 64 artisanal queries.
+std::vector<std::string> BankQueries(size_t k) {
+  const char* names[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  constexpr size_t n = sizeof(names) / sizeof(names[0]);
+  std::vector<std::string> out;
+  for (size_t i = 0; out.size() < k; ++i) {
+    const std::string x = names[i % n];
+    const std::string y = names[(i + 1 + i / n) % n];
+    switch (i % 8) {
+      case 0: out.push_back("/" + x); break;
+      case 1: out.push_back("//" + y); break;
+      case 2: out.push_back("/" + x + "/" + y); break;
+      case 3: out.push_back("/" + x + "//" + y); break;
+      case 4: out.push_back(x + " then " + y); break;
+      case 5: out.push_back("depth >= " + std::to_string(2 + i % 5)); break;
+      case 6: out.push_back("//" + x + "/*/" + y); break;
+      default: out.push_back("not //" + x); break;
+    }
+  }
+  return out;
+}
+
+struct BankWorkload {
+  Alphabet alphabet;
+  Symbol other;
+  std::vector<Query> queries;
+  OptimizedBank optimized;  ///< rewrite+min automata, plus the product
+  std::string doc;
+
+  BankWorkload(size_t k, size_t positions) {
+    for (const std::string& text : BankQueries(k)) {
+      queries.push_back(ParseQuery(text, &alphabet).Take());
+    }
+    alphabet.Intern("#text");
+    other = alphabet.Intern("%other");
+    // rewrite+min only: the SAME automata feed both engines, and the
+    // benchmarks that need a product build it themselves (the SoA
+    // benchmark should not pay for an unused one).
+    OptOptions opt = OptOptions::All();
+    opt.bank = false;
+    optimized = OptimizeBank(queries, alphabet.size(), opt);
+    Alphabet gen;
+    for (const char* n : {"a", "b", "c", "d", "e", "f", "g", "h"}) {
+      gen.Intern(n);
+    }
+    Rng rng(7);
+    doc = RandomXmlDocument(&rng, gen, positions, 24);
+  }
+};
+
+size_t RunEngine(const BankWorkload& w, QueryEngine* engine) {
+  Alphabet local = w.alphabet;
+  std::vector<bool> results = engine->RunAll(w.doc, &local);
+  size_t matched = 0;
+  for (bool hit : results) matched += hit;
+  return matched;
+}
+
+/// Headline: one product step per position vs K SoA steps per position.
+void BankThroughputTable() {
+  Table t("E-OPT: shared-bank product vs per-query SoA stepping "
+          "(rewrite+min automata, one warmed pass each)");
+  t.Header({"K", "positions", "soa_ms", "bank_ms", "speedup",
+            "product_states", "soa_resident", "bank_resident"});
+  for (size_t k : {1u, 16u, 64u}) {
+    BankWorkload w(k, 1u << 15);
+    QueryEngine soa(w.alphabet.size());
+    soa.set_other_symbol(w.other);
+    for (const OptimizedQuery& q : w.optimized.queries) soa.Add(&q.nwa);
+    std::vector<const Nwa*> autos;
+    for (const OptimizedQuery& q : w.optimized.queries) {
+      autos.push_back(&q.nwa);
+    }
+    SharedBank product = CompileBank(autos);
+    QueryEngine bank(w.alphabet.size());
+    bank.set_other_symbol(w.other);
+    bank.AddBank(&product);
+    // One warm-up pass: correctness cross-check + memoization of the
+    // product transitions a stream of this shape touches (steady state is
+    // what a standing query bank serves traffic in).
+    size_t m1 = RunEngine(w, &soa);
+    size_t m2 = RunEngine(w, &bank);
+    NW_CHECK(m1 == m2);
+    constexpr int kReps = 8;
+    Stopwatch sw;
+    for (int i = 0; i < kReps; ++i) {
+      benchmark::DoNotOptimize(RunEngine(w, &soa));
+    }
+    double soa_ms = sw.ElapsedMs() / kReps;
+    size_t soa_resident = soa.ResidentStates();
+    sw.Reset();
+    for (int i = 0; i < kReps; ++i) {
+      benchmark::DoNotOptimize(RunEngine(w, &bank));
+    }
+    double bank_ms = sw.ElapsedMs() / kReps;
+    t.Row({Table::Num(k), Table::Num(1u << 15), Table::Dbl(soa_ms, 2),
+           Table::Dbl(bank_ms, 2), Table::Dbl(soa_ms / bank_ms, 2),
+           Table::Num(product.num_states()), Table::Num(soa_resident),
+           Table::Num(bank.ResidentStates())});
+  }
+  t.Print();
+}
+
+void BM_SoAEngine(benchmark::State& state) {
+  BankWorkload w(static_cast<size_t>(state.range(0)), 1u << 14);
+  QueryEngine engine(w.alphabet.size());
+  engine.set_other_symbol(w.other);
+  for (const OptimizedQuery& q : w.optimized.queries) engine.Add(&q.nwa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunEngine(w, &engine));
+  }
+  state.SetBytesProcessed(state.iterations() * w.doc.size());
+}
+BENCHMARK(BM_SoAEngine)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_BankEngine(benchmark::State& state) {
+  BankWorkload w(static_cast<size_t>(state.range(0)), 1u << 14);
+  std::vector<const Nwa*> autos;
+  for (const OptimizedQuery& q : w.optimized.queries) autos.push_back(&q.nwa);
+  SharedBank product = CompileBank(autos);
+  QueryEngine engine(w.alphabet.size());
+  engine.set_other_symbol(w.other);
+  engine.AddBank(&product);
+  RunEngine(w, &engine);  // warm the memoized product
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunEngine(w, &engine));
+  }
+  state.SetBytesProcessed(state.iterations() * w.doc.size());
+}
+BENCHMARK(BM_BankEngine)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MinimizationTable();
+  BankThroughputTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

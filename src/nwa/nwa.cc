@@ -91,6 +91,17 @@ bool Nwa::Accepts(const NestedWord& n) const {
   return r.Run(n);
 }
 
+std::vector<NwaReturnRule> Nwa::ReturnRules() const {
+  std::vector<NwaReturnRule> rules;
+  rules.reserve(returns_.size());
+  for (const auto& [key, target] : returns_) {
+    rules.push_back({static_cast<StateId>(key >> 40),
+                     static_cast<StateId>((key >> 16) & kMaxPackedState),
+                     static_cast<Symbol>(key & kMaxPackedSymbol), target});
+  }
+  return rules;
+}
+
 size_t Nwa::NumTransitions() const {
   size_t count = returns_.size();
   for (StateId t : internal_) count += t != kNoState;

@@ -26,6 +26,17 @@
 
 namespace nw {
 
+/// One explicit return rule δr(from, hier, symbol) = target, unpacked from
+/// the sparse ReturnKey map. Consumed by passes that must enumerate every
+/// return transition (the optimizer's partition refinement, the shared-bank
+/// compiler) rather than look rules up.
+struct NwaReturnRule {
+  StateId from;
+  StateId hier;
+  Symbol symbol;
+  StateId target;
+};
+
 /// Deterministic nested word automaton A = (Q, q0, F, δc, δi, δr).
 class Nwa {
  public:
@@ -100,6 +111,10 @@ class Nwa {
 
   /// Number of defined transitions (diagnostic / experiment metric).
   size_t NumTransitions() const;
+
+  /// Every defined return rule, unpacked from the 24/16-bit ReturnKey
+  /// packing. Order is unspecified (hash-map iteration order).
+  std::vector<NwaReturnRule> ReturnRules() const;
 
   // -- Subclass predicates (§3.3–§3.5). --
 

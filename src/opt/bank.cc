@@ -1,0 +1,128 @@
+#include "opt/bank.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace nw {
+
+namespace {
+
+uint64_t TupleHash(const std::vector<StateId>& tuple) {
+  uint64_t h = 1469598103934665603ULL;
+  for (StateId s : tuple) {
+    h ^= s;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Packs a product return lookup like Nwa::ReturnKey; a pending frame
+/// (kNoState) packs as the reserved all-ones 24-bit value.
+uint64_t ProductReturnKey(StateId q, StateId hier, Symbol a) {
+  uint64_t h = hier == kNoState ? ((1u << 24) - 1) : hier;
+  return (static_cast<uint64_t>(q) << 40) | (h << 16) | a;
+}
+
+}  // namespace
+
+SharedBank::SharedBank(std::vector<const Nwa*> autos)
+    : autos_(std::move(autos)) {
+  NW_CHECK_MSG(!autos_.empty(), "shared bank needs at least one automaton");
+  num_symbols_ = autos_[0]->num_symbols();
+  for (const Nwa* a : autos_) {
+    NW_CHECK_MSG(a->num_symbols() == num_symbols_,
+                 "bank automaton symbol space mismatch");
+  }
+  NW_CHECK_MSG(num_symbols_ <= (1u << 16),
+               "symbol space exceeds the product return-key packing");
+  words_ = (autos_.size() + 63) / 64;
+  std::vector<StateId> init(autos_.size());
+  for (size_t i = 0; i < autos_.size(); ++i) init[i] = autos_[i]->initial();
+  initial_ = Intern(init);
+}
+
+StateId SharedBank::Intern(const std::vector<StateId>& tuple) {
+  std::vector<StateId>& bucket = buckets_[TupleHash(tuple)];
+  const size_t k = autos_.size();
+  for (StateId id : bucket) {
+    if (std::equal(tuple.begin(), tuple.end(), tuples_.begin() + id * k)) {
+      return id;
+    }
+  }
+  NW_CHECK_MSG(live_.size() < kMaxStates,
+               "shared bank product exploded past %u states; use the "
+               "per-query SoA engine path for this bank",
+               kMaxStates);
+  StateId id = static_cast<StateId>(live_.size());
+  bucket.push_back(id);
+  tuples_.insert(tuples_.end(), tuple.begin(), tuple.end());
+  accept_.resize(accept_.size() + words_, 0);
+  uint32_t live = 0;
+  for (size_t i = 0; i < k; ++i) {
+    live += tuple[i] != kNoState;
+    if (tuple[i] != kNoState && autos_[i]->is_final(tuple[i])) {
+      accept_[id * words_ + i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+  live_.push_back(live);
+  internal_.resize(internal_.size() + num_symbols_, kNoState);
+  call_lin_.resize(call_lin_.size() + num_symbols_, kNoState);
+  call_hier_.resize(call_hier_.size() + num_symbols_, kNoState);
+  return id;
+}
+
+StateId SharedBank::StepInternal(StateId q, Symbol a) {
+  NW_DCHECK(q < num_states() && a < num_symbols_);
+  StateId& memo = internal_[q * num_symbols_ + a];
+  if (memo != kNoState) return memo;
+  const size_t k = autos_.size();
+  std::vector<StateId> next(k);
+  for (size_t i = 0; i < k; ++i) {
+    next[i] = autos_[i]->StepInternal(tuples_[q * k + i], a);
+  }
+  // Intern may grow internal_; recompute the slot instead of using `memo`.
+  StateId id = Intern(next);
+  internal_[q * num_symbols_ + a] = id;
+  return id;
+}
+
+StateId SharedBank::StepCall(StateId q, Symbol a, StateId* hier_out) {
+  NW_DCHECK(q < num_states() && a < num_symbols_);
+  if (call_lin_[q * num_symbols_ + a] != kNoState) {
+    *hier_out = call_hier_[q * num_symbols_ + a];
+    return call_lin_[q * num_symbols_ + a];
+  }
+  const size_t k = autos_.size();
+  std::vector<StateId> lin(k), hier(k);
+  for (size_t i = 0; i < k; ++i) {
+    lin[i] = autos_[i]->StepCall(tuples_[q * k + i], a, &hier[i]);
+  }
+  StateId lin_id = Intern(lin);
+  StateId hier_id = Intern(hier);
+  call_lin_[q * num_symbols_ + a] = lin_id;
+  call_hier_[q * num_symbols_ + a] = hier_id;
+  *hier_out = hier_id;
+  return lin_id;
+}
+
+StateId SharedBank::StepReturn(StateId q, StateId hier, Symbol a) {
+  NW_DCHECK(q < num_states() && a < num_symbols_);
+  NW_DCHECK(hier == kNoState || hier < num_states());
+  uint64_t key = ProductReturnKey(q, hier, a);
+  auto it = returns_.find(key);
+  if (it != returns_.end()) return it->second;
+  const size_t k = autos_.size();
+  std::vector<StateId> next(k);
+  for (size_t i = 0; i < k; ++i) {
+    // A pending return (no frame) lets each component read its own
+    // hier_initial, matching the per-query engine path exactly.
+    StateId h = hier == kNoState ? kNoState : tuples_[hier * k + i];
+    next[i] = autos_[i]->StepReturn(tuples_[q * k + i], h, a);
+  }
+  StateId id = Intern(next);
+  returns_.emplace(key, id);
+  return id;
+}
+
+}  // namespace nw

@@ -1,0 +1,105 @@
+// Shared bank compilation (ROADMAP item 2): K deterministic query
+// automata over one alphabet fuse into a single product automaton whose
+// states are interned K-tuples of component states, with a per-state
+// accept bitset recording which queries accept there. The engine then
+// steps ONE transition table per stream position instead of K, and pushes
+// ONE StateId per call frame instead of K — both the per-position work and
+// the resident run state become independent of the bank size.
+//
+// The product is explored lazily and memoized: the first time a
+// (state, symbol) or (state, frame, symbol) combination is stepped, the
+// K component transitions run once and the resulting tuple is interned;
+// every later visit is a single table lookup. Only the product states a
+// real stream reaches are ever materialized, which is what makes the
+// construction affordable — the full product is exponential in K, but
+// document streams drive the component automata through strongly
+// correlated trajectories (they all track the same ancestor chain), so
+// the reachable product is small. A hard state cap turns pathological
+// blow-ups into a loud failure instead of an OOM; callers can always fall
+// back to the per-query SoA path.
+#ifndef NW_OPT_BANK_H_
+#define NW_OPT_BANK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nwa/nwa.h"
+
+namespace nw {
+
+class SharedBank {
+ public:
+  /// All automata must share one symbol space and have initial states set.
+  /// The pointees must outlive the bank. At least one automaton.
+  explicit SharedBank(std::vector<const Nwa*> autos);
+
+  size_t num_queries() const { return autos_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+  /// Interned tuple of the component initial states.
+  StateId initial() const { return initial_; }
+  /// Product states materialized so far (grows as streams explore).
+  size_t num_states() const { return live_.size(); }
+
+  // -- Stepping. Mirrors the Nwa single-position step API, but states are
+  // product-tuple ids and the methods memoize (hence non-const). A dead
+  // component parks kNoState in its tuple slot; the all-dead tuple is a
+  // regular absorbing state, so these never return kNoState.
+
+  StateId StepInternal(StateId q, Symbol a);
+  /// Writes the frame tuple to push to `*hier_out` (one StateId — the
+  /// interned tuple of the K hierarchical-edge states).
+  StateId StepCall(StateId q, Symbol a, StateId* hier_out);
+  /// `hier` is the popped frame tuple, or kNoState for a pending return
+  /// (each component then reads its own hier_initial).
+  StateId StepReturn(StateId q, StateId hier, Symbol a);
+
+  // -- Per-state facts, computed once at interning time. --
+
+  /// Accept bitset: bit (w*64+b) of word w = query (w*64+b) accepting.
+  const uint64_t* accepts(StateId q) const {
+    return accept_.data() + q * words_;
+  }
+  size_t accept_words() const { return words_; }
+  bool accepting(StateId q, size_t id) const {
+    return (accepts(q)[id / 64] >> (id % 64)) & 1;
+  }
+  /// Number of still-live component runs in state `q`.
+  size_t live(StateId q) const { return live_[q]; }
+  /// Component query `id`'s state in tuple `q` (kNoState = that run died).
+  StateId component(StateId q, size_t id) const {
+    return tuples_[q * autos_.size() + id];
+  }
+
+ private:
+  /// Interned product ids must fit the 24-bit return-key packing, with the
+  /// top value reserved for "pending" frames.
+  static constexpr StateId kMaxStates = (1u << 24) - 1;
+
+  StateId Intern(const std::vector<StateId>& tuple);
+
+  std::vector<const Nwa*> autos_;
+  size_t num_symbols_;
+  size_t words_;
+  StateId initial_;
+  std::vector<StateId> tuples_;  ///< K components per state, state-major
+  std::unordered_map<uint64_t, std::vector<StateId>> buckets_;
+  std::vector<uint64_t> accept_;
+  std::vector<uint32_t> live_;
+  // Memoized transitions; kNoState = not computed yet (a computed result
+  // is always a valid interned id, never kNoState).
+  std::vector<StateId> internal_;   // [q*|Σ|+a]
+  std::vector<StateId> call_lin_;   // [q*|Σ|+a]
+  std::vector<StateId> call_hier_;  // [q*|Σ|+a]
+  std::unordered_map<uint64_t, StateId> returns_;
+};
+
+/// Convenience spelling of the tentpole API: compiles the bank of
+/// already-lowered query automata into one shared product automaton.
+inline SharedBank CompileBank(std::vector<const Nwa*> autos) {
+  return SharedBank(std::move(autos));
+}
+
+}  // namespace nw
+
+#endif  // NW_OPT_BANK_H_

@@ -1,0 +1,247 @@
+#include "opt/minimize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.h"
+
+namespace nw {
+
+namespace {
+
+/// FNV-1a over a word vector, for hashing refinement signatures.
+struct SigHash {
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t w : v) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One return rule with all coordinates remapped to dense reachable ids.
+struct DenseRule {
+  uint32_t partner;  ///< the other argument (hier for by-from, from for by-hier)
+  Symbol symbol;
+  uint32_t target;
+};
+
+}  // namespace
+
+MinimizeResult MinimizeNwa(const Nwa& a) {
+  NW_CHECK_MSG(a.initial() != kNoState, "MinimizeNwa needs an initial state");
+  const size_t sigma = a.num_symbols();
+  MinimizeResult out{Nwa(sigma), a.num_states(), 0, 0};
+
+  // --- Reachable closure. Seeded by the initial and hierarchical-initial
+  // states and closed under every lookup a run could make; return rules
+  // fire once both their linear and hierarchical arguments are in. This
+  // over-approximates true reachability (it does not track which frame can
+  // be on top at a return), which is sound: extra states only make the
+  // quotient finer, never wrong.
+  const std::vector<NwaReturnRule> rules = a.ReturnRules();
+  std::vector<char> in(a.num_states(), 0);
+  std::vector<StateId> worklist;
+  auto mark = [&](StateId q) {
+    if (q != kNoState && !in[q]) {
+      in[q] = 1;
+      worklist.push_back(q);
+    }
+  };
+  mark(a.initial());
+  mark(a.hier_initial());
+  bool rules_changed = true;
+  while (!worklist.empty() || rules_changed) {
+    while (!worklist.empty()) {
+      StateId q = worklist.back();
+      worklist.pop_back();
+      for (Symbol s = 0; s < sigma; ++s) {
+        mark(a.NextInternal(q, s));
+        mark(a.NextCallLinear(q, s));
+        mark(a.NextCallHier(q, s));
+      }
+    }
+    rules_changed = false;
+    for (const NwaReturnRule& r : rules) {
+      if (in[r.from] && in[r.hier] && !in[r.target]) {
+        mark(r.target);
+        rules_changed = true;
+      }
+    }
+  }
+
+  // Dense ids for reachable states; index m is a virtual sink absorbing
+  // every missing transition (and any explicit Totalize() sink merges into
+  // its class during refinement).
+  std::vector<uint32_t> dense(a.num_states(), UINT32_MAX);
+  std::vector<StateId> orig;
+  for (StateId q = 0; q < a.num_states(); ++q) {
+    if (in[q]) {
+      dense[q] = static_cast<uint32_t>(orig.size());
+      orig.push_back(q);
+    }
+  }
+  const uint32_t m = static_cast<uint32_t>(orig.size());
+  auto to_dense = [&](StateId q) { return q == kNoState ? m : dense[q]; };
+
+  // Return rules grouped by each role the state can play. Rules whose
+  // hierarchical argument is unreachable can never fire and are dropped.
+  std::vector<std::vector<DenseRule>> by_from(m), by_hier(m);
+  for (const NwaReturnRule& r : rules) {
+    if (!in[r.from] || !in[r.hier]) continue;
+    uint32_t f = dense[r.from], h = dense[r.hier], t = dense[r.target];
+    by_from[f].push_back({h, r.symbol, t});
+    by_hier[h].push_back({f, r.symbol, t});
+  }
+  for (auto& v : by_from) {
+    std::sort(v.begin(), v.end(), [](const DenseRule& x, const DenseRule& y) {
+      return x.partner != y.partner ? x.partner < y.partner
+                                    : x.symbol < y.symbol;
+    });
+  }
+  for (auto& v : by_hier) {
+    std::sort(v.begin(), v.end(), [](const DenseRule& x, const DenseRule& y) {
+      return x.partner != y.partner ? x.partner < y.partner
+                                    : x.symbol < y.symbol;
+    });
+  }
+
+  // --- Moore refinement to a congruence. cls[i] for i < m is state
+  // orig[i]'s class; cls[m] is the sink's. The signature of a state
+  // packs, per symbol, the classes of its internal and call successors,
+  // then its sparse return behavior in both roles. A return entry whose
+  // target sits in the sink's class is normalized away — it is
+  // indistinguishable from an undefined rule.
+  //
+  // Return partners are kept CONCRETE (dense state ids, not their
+  // classes). Class-level partners would merge more — but they are
+  // unsound for the two-argument δr: with q1,q2 in one block and h1,h2
+  // in another, δr(q1,h1)=t, δr(q1,h2)=⊥, δr(q2,h1)=⊥, δr(q2,h2)=t gives
+  // equal target-class SETS in both roles (stable partition), yet no
+  // single quotient rule for (block,block) is right. Concrete partners
+  // make the fixpoint pointwise: q1~q2 forces equal target classes for
+  // EVERY h, and h1~h2 for every q, which is exactly what quotienting
+  // needs.
+  std::vector<uint32_t> cls(m + 1);
+  for (uint32_t i = 0; i < m; ++i) cls[i] = a.is_final(orig[i]) ? 1 : 0;
+  cls[m] = 0;
+  size_t num_classes = 2;
+  for (;;) {
+    std::unordered_map<std::vector<uint64_t>, uint32_t, SigHash> sig_to_class;
+    std::vector<uint32_t> next(m + 1);
+    for (uint32_t i = 0; i <= m; ++i) {
+      std::vector<uint64_t> sig;
+      sig.push_back(cls[i]);
+      if (i < m) {
+        StateId q = orig[i];
+        for (Symbol s = 0; s < sigma; ++s) {
+          sig.push_back(cls[to_dense(a.NextInternal(q, s))]);
+          sig.push_back(cls[to_dense(a.NextCallLinear(q, s))]);
+          sig.push_back(cls[to_dense(a.NextCallHier(q, s))]);
+        }
+        for (const auto* role : {&by_from[i], &by_hier[i]}) {
+          sig.push_back(0xFFFFFFFFFFFFFFFFULL);  // role separator
+          for (const DenseRule& r : *role) {
+            if (cls[r.target] == cls[m]) continue;  // ≡ undefined
+            sig.push_back((static_cast<uint64_t>(r.partner) << 32) | r.symbol);
+            sig.push_back(cls[r.target]);
+          }
+        }
+      } else {
+        // The sink: every lookup stays in its own class, no return rules.
+        for (Symbol s = 0; s < 3 * sigma; ++s) sig.push_back(cls[m]);
+        sig.push_back(0xFFFFFFFFFFFFFFFFULL);
+        sig.push_back(0xFFFFFFFFFFFFFFFFULL);
+      }
+      next[i] = sig_to_class
+                    .emplace(std::move(sig),
+                             static_cast<uint32_t>(sig_to_class.size()))
+                    .first->second;
+    }
+    bool stable = sig_to_class.size() == num_classes;
+    num_classes = sig_to_class.size();
+    cls = std::move(next);
+    if (stable) break;
+  }
+  out.classes = num_classes;
+
+  const uint32_t dead_class = cls[m];
+  if (cls[dense[a.initial()]] == dead_class) {
+    // The whole language is empty: one initial reject state suffices.
+    out.nwa.set_initial(out.nwa.AddState(false));
+    out.states_after = 1;
+    return out;
+  }
+
+  // --- Quotient. One state per live class (representative = smallest
+  // member; congruence makes any member's rows agree class-wise). The dead
+  // class is materialized only when a surviving call pushes it or pending
+  // returns read it: such a frame must exist so the run above it can keep
+  // accepting, but it needs no transitions — popping it dies, which is
+  // exactly the original's fate (every return reading a dead frame has a
+  // dead target, or none).
+  std::vector<uint32_t> rep(num_classes, UINT32_MAX);
+  for (uint32_t i = 0; i < m; ++i) {
+    if (rep[cls[i]] == UINT32_MAX) rep[cls[i]] = i;
+  }
+  bool need_dead = cls[dense[a.hier_initial()]] == dead_class;
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    if (c == dead_class || rep[c] == UINT32_MAX) continue;
+    StateId q = orig[rep[c]];
+    for (Symbol s = 0; s < sigma; ++s) {
+      StateId l = a.NextCallLinear(q, s), h = a.NextCallHier(q, s);
+      if (l == kNoState || h == kNoState) continue;
+      if (cls[dense[l]] != dead_class && cls[dense[h]] == dead_class) {
+        need_dead = true;
+      }
+    }
+  }
+
+  std::vector<StateId> new_id(num_classes, kNoState);
+  for (uint32_t i = 0; i < m; ++i) {
+    uint32_t c = cls[i];
+    if (c != dead_class && new_id[c] == kNoState) {
+      new_id[c] = out.nwa.AddState(a.is_final(orig[i]));
+    }
+  }
+  if (need_dead) new_id[dead_class] = out.nwa.AddState(false);
+  out.nwa.set_initial(new_id[cls[dense[a.initial()]]]);
+  // hier_initial is always materialized: a dead one set need_dead above.
+  out.nwa.set_hier_initial(new_id[cls[dense[a.hier_initial()]]]);
+
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    if (c == dead_class || new_id[c] == kNoState) continue;
+    uint32_t i = rep[c];
+    StateId q = orig[i];
+    for (Symbol s = 0; s < sigma; ++s) {
+      StateId t = a.NextInternal(q, s);
+      if (t != kNoState && cls[dense[t]] != dead_class) {
+        out.nwa.SetInternal(new_id[c], s, new_id[cls[dense[t]]]);
+      }
+      StateId l = a.NextCallLinear(q, s), h = a.NextCallHier(q, s);
+      // A call whose linear target is dead-equivalent can never accept
+      // again (dead states absorb under every continuation, frames
+      // included), so the quotient lets the run die at the call itself.
+      if (l == kNoState || h == kNoState || cls[dense[l]] == dead_class) {
+        continue;
+      }
+      out.nwa.SetCall(new_id[c], s, new_id[cls[dense[l]]],
+                      new_id[cls[dense[h]]]);
+    }
+    for (const DenseRule& r : by_from[i]) {
+      if (cls[r.target] == dead_class) continue;
+      // A live target implies a live frame class (a dead frame's
+      // hierarchical-role signature is all-dead), so new_id[cls[partner]]
+      // is always materialized here.
+      out.nwa.SetReturn(new_id[c], new_id[cls[r.partner]], r.symbol,
+                        new_id[cls[r.target]]);
+    }
+  }
+  out.states_after = out.nwa.num_states();
+  return out;
+}
+
+}  // namespace nw

@@ -1,0 +1,74 @@
+#include "opt/pipeline.h"
+
+#include "opt/minimize.h"
+#include "opt/rewrite.h"
+#include "query/compile.h"
+
+namespace nw {
+
+bool ParseOptLevel(const std::string& level, OptOptions* out) {
+  if (level == "none") {
+    *out = OptOptions::None();
+  } else if (level == "rewrite") {
+    *out = {true, false, false};
+  } else if (level == "min") {
+    *out = {false, true, false};
+  } else if (level == "bank") {
+    *out = {false, false, true};
+  } else if (level == "all") {
+    *out = OptOptions::All();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+OptimizedQuery CompileOptimized(const Query& q, size_t num_symbols,
+                                const OptOptions& opt) {
+  Query rewritten = opt.rewrite ? RewriteQuery(q) : q;
+  Nwa compiled = CompileQuery(rewritten, num_symbols);
+  size_t before = compiled.num_states();
+  if (opt.minimize) {
+    compiled = MinimizeNwa(compiled).nwa;
+  }
+  size_t after = compiled.num_states();
+  return {std::move(rewritten), std::move(compiled), before, after};
+}
+
+void OptimizedBank::Register(QueryEngine* engine) {
+  if (shared != nullptr) {
+    engine->AddBank(shared.get());
+    return;
+  }
+  for (const OptimizedQuery& q : queries) engine->Add(&q.nwa);
+}
+
+size_t OptimizedBank::states_compiled() const {
+  size_t total = 0;
+  for (const OptimizedQuery& q : queries) total += q.states_compiled;
+  return total;
+}
+
+size_t OptimizedBank::states_final() const {
+  size_t total = 0;
+  for (const OptimizedQuery& q : queries) total += q.states_final;
+  return total;
+}
+
+OptimizedBank OptimizeBank(const std::vector<Query>& queries,
+                           size_t num_symbols, const OptOptions& opt) {
+  OptimizedBank out;
+  out.queries.reserve(queries.size());
+  for (const Query& q : queries) {
+    out.queries.push_back(CompileOptimized(q, num_symbols, opt));
+  }
+  if (opt.bank && !out.queries.empty()) {
+    std::vector<const Nwa*> autos;
+    autos.reserve(out.queries.size());
+    for (const OptimizedQuery& q : out.queries) autos.push_back(&q.nwa);
+    out.shared = std::make_unique<SharedBank>(std::move(autos));
+  }
+  return out;
+}
+
+}  // namespace nw

@@ -1,0 +1,72 @@
+// NWOpt driver: the optimizer pipeline between query compilation and
+// streaming evaluation —
+//
+//     rewrite (AST)  →  compile  →  minimize (NWA)  →  bank (product)
+//
+// Each pass is independently switchable so every level is observable from
+// the nwquery CLI (--opt=none|rewrite|min|bank|all) and measurable in
+// bench/bench_query_optimizer.cc.
+#ifndef NW_OPT_PIPELINE_H_
+#define NW_OPT_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nwa/nwa.h"
+#include "opt/bank.h"
+#include "query/engine.h"
+#include "query/nwquery.h"
+
+namespace nw {
+
+/// Which optimizer passes run. Defaults to none (PR-1 behavior).
+struct OptOptions {
+  bool rewrite = false;   ///< AST rewrites (opt/rewrite.h) before lowering
+  bool minimize = false;  ///< congruence minimization (opt/minimize.h)
+  bool bank = false;      ///< shared product automaton (opt/bank.h)
+
+  static OptOptions None() { return {}; }
+  static OptOptions All() { return {true, true, true}; }
+};
+
+/// Parses an --opt level: "none", "rewrite", "min", "bank", or "all"
+/// (each of the single-pass levels enables exactly that pass). Returns
+/// false on an unknown level, leaving *out untouched.
+bool ParseOptLevel(const std::string& level, OptOptions* out);
+
+/// One query's trip through the per-query passes, with the per-stage
+/// state counts the CLI and the benches report.
+struct OptimizedQuery {
+  Query query;             ///< post-rewrite AST (the input when !rewrite)
+  Nwa nwa;                 ///< compiled (and possibly minimized) automaton
+  size_t states_compiled;  ///< state count straight out of CompileQuery
+  size_t states_final;     ///< after minimization (== states_compiled
+                           ///< when !minimize)
+};
+
+/// rewrite → compile → minimize for a single query.
+OptimizedQuery CompileOptimized(const Query& q, size_t num_symbols,
+                                const OptOptions& opt);
+
+/// A whole query bank through the pipeline. `shared` is set iff opt.bank;
+/// it points into `queries`, so the struct is movable but `queries` must
+/// not be resized afterwards.
+struct OptimizedBank {
+  std::vector<OptimizedQuery> queries;
+  std::unique_ptr<SharedBank> shared;
+
+  /// Registers with `engine`: the shared product when present, the K
+  /// individual automata otherwise. The bank must outlive the engine.
+  void Register(QueryEngine* engine);
+
+  size_t states_compiled() const;
+  size_t states_final() const;
+};
+
+OptimizedBank OptimizeBank(const std::vector<Query>& queries,
+                           size_t num_symbols, const OptOptions& opt);
+
+}  // namespace nw
+
+#endif  // NW_OPT_PIPELINE_H_

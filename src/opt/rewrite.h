@@ -1,0 +1,35 @@
+// Algebraic query rewrites — AST-level optimization ahead of automaton
+// lowering (ROADMAP item 1). Three passes, applied in order:
+//
+//  1. Negation normal form: `not` is pushed inward through De Morgan
+//     (not(x and y) → not x or not y, dually for or) and double negations
+//     cancel, so the compiler's expensive ComplementN round trips happen
+//     only at atoms, never above a boolean connective.
+//  2. Flatten + dedup: chains of the same connective are flattened into
+//     one child list and structurally equal children are dropped
+//     (x and x → x). Single survivors replace their connective.
+//  3. Path-atom fusion: sibling path atoms under an `or` merge into ONE
+//     kPathSet atom. This is sound precisely for `or` — "some element's
+//     root path matches p1 OR some element's matches p2" is "some
+//     element's root path lies in L(p1) ∪ L(p2)" — and the union lowers
+//     through a single regex → DFA → NWA (compile.h), so paths sharing a
+//     step prefix share DFA states instead of multiplying through the
+//     nondeterministic closure ops. (Under `and` the witnesses may be
+//     different elements, so no such fusion exists.)
+//
+// Rewrites preserve the query language exactly; tests/opt_test.cc checks
+// this differentially against the unrewritten compilation and the oracle.
+#ifndef NW_OPT_REWRITE_H_
+#define NW_OPT_REWRITE_H_
+
+#include "query/nwquery.h"
+
+namespace nw {
+
+/// Applies all rewrite passes. Idempotent: RewriteQuery(RewriteQuery(q))
+/// is structurally equal to RewriteQuery(q).
+Query RewriteQuery(const Query& q);
+
+}  // namespace nw
+
+#endif  // NW_OPT_REWRITE_H_

@@ -27,50 +27,20 @@ Regex PathRegex(const std::vector<PathStep>& steps, size_t num_symbols) {
   return r;
 }
 
-/// Lowers a query atom to its deterministic automaton.
-Nwa CompileAtom(const Query& q, size_t num_symbols) {
-  switch (q.op()) {
-    case Query::Op::kPath:
-      return CompilePathNwa(q.steps(), num_symbols);
-    case Query::Op::kOrder:
-      for (Symbol s : q.names()) NW_CHECK(s < num_symbols);
-      return PatternOrderQuery(q.names(), num_symbols);
-    case Query::Op::kMinDepth:
-      return MinDepthQuery(q.min_depth(), num_symbols);
-    default:
-      NW_CHECK_MSG(false, "not an atom");
-      __builtin_unreachable();
-  }
-}
-
-/// Recursive lowering to the nondeterministic representation the closure
-/// ops compose.
-Nnwa ToNnwa(const Query& q, size_t num_symbols) {
-  switch (q.op()) {
-    case Query::Op::kAnd:
-      return Intersect(ToNnwa(q.left(), num_symbols),
-                       ToNnwa(q.right(), num_symbols));
-    case Query::Op::kOr:
-      return Union(ToNnwa(q.left(), num_symbols),
-                   ToNnwa(q.right(), num_symbols));
-    case Query::Op::kNot:
-      return ComplementN(ToNnwa(q.left(), num_symbols));
-    default:
-      return Nnwa::FromNwa(CompileAtom(q, num_symbols));
-  }
-}
-
-}  // namespace
-
-Nwa CompilePathNwa(const std::vector<PathStep>& steps, size_t num_symbols) {
+/// Checks every named step is inside the compiled symbol space.
+void CheckSteps(const std::vector<PathStep>& steps, size_t num_symbols) {
   NW_CHECK(!steps.empty());
   for (const PathStep& s : steps) {
     NW_CHECK(s.name == Alphabet::kNoSymbol || s.name < num_symbols);
   }
-  Dfa d = PathRegex(steps, num_symbols)
-              .Compile(num_symbols)
-              .Determinize()
-              .Totalize();
+}
+
+/// Shared tail of the path constructions: the NWA advances `d` (the DFA of
+/// the wanted root-path language) along the current ancestor chain — calls
+/// step it forward pushing the parent context on the hierarchical edge,
+/// returns restore it — and latches an accept state the moment some
+/// element's root path lands in the DFA's language.
+Nwa PathLanguageNwa(const Dfa& d, size_t num_symbols) {
   // NWA state i mirrors DFA state i (the DFA state of the current
   // ancestor-name chain); one extra latch state records "some element
   // already matched".
@@ -103,6 +73,64 @@ Nwa CompilePathNwa(const std::vector<PathStep>& steps, size_t num_symbols) {
     for (StateId h = 0; h <= latch; ++h) a.SetReturn(latch, h, s, latch);
   }
   return a;
+}
+
+/// Lowers a query atom to its deterministic automaton.
+Nwa CompileAtom(const Query& q, size_t num_symbols) {
+  switch (q.op()) {
+    case Query::Op::kPath:
+      return CompilePathNwa(q.steps(), num_symbols);
+    case Query::Op::kPathSet:
+      return CompilePathSetNwa(q.step_sets(), num_symbols);
+    case Query::Op::kOrder:
+      for (Symbol s : q.names()) NW_CHECK(s < num_symbols);
+      return PatternOrderQuery(q.names(), num_symbols);
+    case Query::Op::kMinDepth:
+      return MinDepthQuery(q.min_depth(), num_symbols);
+    default:
+      NW_CHECK_MSG(false, "not an atom");
+      __builtin_unreachable();
+  }
+}
+
+/// Recursive lowering to the nondeterministic representation the closure
+/// ops compose.
+Nnwa ToNnwa(const Query& q, size_t num_symbols) {
+  switch (q.op()) {
+    case Query::Op::kAnd:
+      return Intersect(ToNnwa(q.left(), num_symbols),
+                       ToNnwa(q.right(), num_symbols));
+    case Query::Op::kOr:
+      return Union(ToNnwa(q.left(), num_symbols),
+                   ToNnwa(q.right(), num_symbols));
+    case Query::Op::kNot:
+      return ComplementN(ToNnwa(q.left(), num_symbols));
+    default:
+      return Nnwa::FromNwa(CompileAtom(q, num_symbols));
+  }
+}
+
+}  // namespace
+
+Nwa CompilePathNwa(const std::vector<PathStep>& steps, size_t num_symbols) {
+  CheckSteps(steps, num_symbols);
+  Dfa d = PathRegex(steps, num_symbols)
+              .Compile(num_symbols)
+              .Determinize()
+              .Totalize();
+  return PathLanguageNwa(d, num_symbols);
+}
+
+Nwa CompilePathSetNwa(const std::vector<std::vector<PathStep>>& step_sets,
+                      size_t num_symbols) {
+  NW_CHECK(!step_sets.empty());
+  Regex r = Regex::Empty();
+  for (const auto& steps : step_sets) {
+    CheckSteps(steps, num_symbols);
+    r = Regex::Alt(std::move(r), PathRegex(steps, num_symbols));
+  }
+  Dfa d = r.Compile(num_symbols).Determinize().Totalize();
+  return PathLanguageNwa(d, num_symbols);
 }
 
 Nwa CompileQuery(const Query& q, size_t num_symbols) {

@@ -34,6 +34,14 @@ Nwa CompileQuery(const Query& q, size_t num_symbols);
 /// the element itself last) matches `steps`.
 Nwa CompilePathNwa(const std::vector<PathStep>& steps, size_t num_symbols);
 
+/// Path-set atom (Query::Op::kPathSet): one deterministic automaton for
+/// the UNION of the member path languages — the root-path regexes are
+/// alternated before the regex → DFA → NWA lowering, so merged sibling
+/// paths share DFA states along common prefixes instead of round-tripping
+/// through Nnwa union + determinization.
+Nwa CompilePathSetNwa(const std::vector<std::vector<PathStep>>& step_sets,
+                      size_t num_symbols);
+
 }  // namespace nw
 
 #endif  // NW_QUERY_COMPILE_H_

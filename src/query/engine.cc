@@ -1,10 +1,28 @@
 #include "query/engine.h"
 
+#include "opt/bank.h"
 #include "support/check.h"
 
 namespace nw {
 
+size_t QueryEngine::num_queries() const {
+  return bank_ != nullptr ? bank_->num_queries() : autos_.size();
+}
+
+bool QueryEngine::Accepting(size_t id) const {
+  if (bank_ != nullptr) return bank_->accepting(bank_state_, id);
+  return state_[id] != kNoState && autos_[id]->is_final(state_[id]);
+}
+
+bool QueryEngine::dead(size_t id) const {
+  if (bank_ != nullptr) return bank_->component(bank_state_, id) == kNoState;
+  return state_[id] == kNoState;
+}
+
 size_t QueryEngine::Add(const Nwa* a) {
+  NW_CHECK_MSG(bank_ == nullptr,
+               "Add() and AddBank() are mutually exclusive: the engine "
+               "steps either K automata or one shared product");
   NW_CHECK_MSG(a->num_symbols() == num_symbols_,
                "query automaton symbol space mismatch");
   // Discard frames a previous stream left pending (unclosed opens are
@@ -17,26 +35,53 @@ size_t QueryEngine::Add(const Nwa* a) {
   return autos_.size() - 1;
 }
 
+void QueryEngine::AddBank(SharedBank* bank) {
+  NW_CHECK_MSG(autos_.empty() && bank_ == nullptr,
+               "AddBank() needs a fresh engine: no Add()ed automata and "
+               "no previous bank");
+  NW_CHECK_MSG(bank->num_symbols() == num_symbols_,
+               "shared bank symbol space mismatch");
+  stack_.clear();
+  bank_ = bank;
+  bank_state_ = bank_->initial();
+  live_ = bank_->live(bank_state_);
+}
+
 void QueryEngine::set_other_symbol(Symbol s) {
-  NW_CHECK_MSG(s < num_symbols_, "catch-all symbol out of range");
+  NW_CHECK_MSG(s < num_symbols_,
+               "catch-all symbol %u out of range: engine compiled over %zu "
+               "symbols",
+               s, num_symbols_);
   other_ = s;
 }
 
 void QueryEngine::BeginStream() {
-  live_ = 0;
-  for (size_t i = 0; i < autos_.size(); ++i) {
-    state_[i] = autos_[i]->initial();
-    live_ += state_[i] != kNoState;
+  if (bank_ != nullptr) {
+    bank_state_ = bank_->initial();
+    live_ = bank_->live(bank_state_);
+  } else {
+    live_ = 0;
+    for (size_t i = 0; i < autos_.size(); ++i) {
+      state_[i] = autos_[i]->initial();
+      live_ += state_[i] != kNoState;
+    }
   }
   stack_.clear();
   max_frames_ = 0;
+  stream_pos_ = 0;
   ++traversals_;
+  if (track_matches_) {
+    first_match_.assign(num_queries(), -1);
+    if (bank_ != nullptr) seen_accepts_.assign(bank_->accept_words(), 0);
+    LatchMatches();  // a query may accept the empty prefix (position 0)
+  }
 }
 
 size_t QueryEngine::Feed(TaggedSymbol t) {
   ++positions_;
+  ++stream_pos_;
   const size_t k = autos_.size();
-  if (k == 0) return 0;
+  if (bank_ == nullptr && k == 0) return 0;
   Symbol s = t.symbol;
   if (s >= num_symbols_) {
     NW_CHECK_MSG(other_ != Alphabet::kNoSymbol,
@@ -45,8 +90,37 @@ size_t QueryEngine::Feed(TaggedSymbol t) {
                  s);
     s = other_;
   }
-  // Liveness is tracked incrementally (dead runs stay dead, so a query
-  // leaves the live count exactly once) — no extra O(K) scan per position.
+  if (bank_ != nullptr) {
+    // Shared-bank path: ONE step and (per call) ONE pushed StateId for
+    // the whole bank, regardless of K.
+    switch (t.kind) {
+      case Kind::kInternal:
+        bank_state_ = bank_->StepInternal(bank_state_, s);
+        break;
+      case Kind::kCall: {
+        StateId h;
+        bank_state_ = bank_->StepCall(bank_state_, s, &h);
+        stack_.push_back(h);
+        if (stack_.size() > max_frames_) max_frames_ = stack_.size();
+        break;
+      }
+      case Kind::kReturn: {
+        StateId h = kNoState;  // pending return: components read P0
+        if (!stack_.empty()) {
+          h = stack_.back();
+          stack_.pop_back();
+        }
+        bank_state_ = bank_->StepReturn(bank_state_, h, s);
+        break;
+      }
+    }
+    live_ = bank_->live(bank_state_);
+    if (track_matches_) LatchMatches();
+    return live_;
+  }
+  // SoA path. Liveness is tracked incrementally (dead runs stay dead, so
+  // a query leaves the live count exactly once) — no extra O(K) scan per
+  // position.
   switch (t.kind) {
     case Kind::kInternal:
       for (size_t i = 0; i < k; ++i) {
@@ -82,7 +156,29 @@ size_t QueryEngine::Feed(TaggedSymbol t) {
       break;
     }
   }
+  if (track_matches_) LatchMatches();
   return live_;
+}
+
+void QueryEngine::LatchMatches() {
+  if (bank_ != nullptr) {
+    const uint64_t* acc = bank_->accepts(bank_state_);
+    for (size_t w = 0; w < bank_->accept_words(); ++w) {
+      uint64_t fresh = acc[w] & ~seen_accepts_[w];
+      seen_accepts_[w] |= acc[w];
+      while (fresh != 0) {
+        size_t bit = static_cast<size_t>(__builtin_ctzll(fresh));
+        fresh &= fresh - 1;
+        first_match_[w * 64 + bit] = static_cast<int64_t>(stream_pos_);
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < autos_.size(); ++i) {
+    if (first_match_[i] < 0 && Accepting(i)) {
+      first_match_[i] = static_cast<int64_t>(stream_pos_);
+    }
+  }
 }
 
 std::vector<bool> QueryEngine::RunAll(const NestedWord& n) {
@@ -105,8 +201,8 @@ std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
 }
 
 std::vector<bool> QueryEngine::Results() const {
-  std::vector<bool> out(autos_.size());
-  for (size_t i = 0; i < autos_.size(); ++i) out[i] = Accepting(i);
+  std::vector<bool> out(num_queries());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = Accepting(i);
   return out;
 }
 

@@ -1,11 +1,23 @@
 // Batched streaming query evaluation. A QueryEngine registers K compiled
 // deterministic NWAs and runs all of them over ONE tagged stream in a
-// single pass: per position it advances K linear states stored in a
-// struct-of-arrays bank, and per call position it pushes ONE shared stack
-// frame holding the K hierarchical-edge states contiguously. K queries
-// therefore cost one stream traversal instead of K, and the resident run
-// state is K·(depth+1) StateIds — the paper's §3.2 depth-bounded-memory
-// guarantee, amortized across the whole query bank.
+// single pass. Two execution paths share the streaming interface:
+//
+//  * SoA path (Add): per position the engine advances K linear states
+//    stored in a struct-of-arrays bank, and per call position pushes ONE
+//    shared stack frame holding the K hierarchical-edge states
+//    contiguously. K queries cost one stream traversal instead of K, and
+//    the resident run state is K·(depth+1) StateIds — the paper's §3.2
+//    depth-bounded-memory guarantee, amortized across the query bank.
+//  * Shared-bank path (AddBank): the optimizer's product automaton
+//    (opt/bank.h) collapses the whole bank into ONE state machine, so per
+//    position the engine steps a single transition table and pushes a
+//    single StateId per call frame — per-position work and resident state
+//    become independent of K. Per-query acceptance reads the product
+//    state's accept bitset.
+//
+// An optional match-position tap records, per query, the number of stream
+// positions consumed when the query was first observed accepting — the
+// "where did it match" answer the nwquery CLI reports (ROADMAP item 4).
 #ifndef NW_QUERY_ENGINE_H_
 #define NW_QUERY_ENGINE_H_
 
@@ -18,6 +30,11 @@
 
 namespace nw {
 
+// The shared-bank product lives a layer above (opt/bank.h); the engine
+// only holds a pointer to it, so the base query layer's headers stay free
+// of upward includes.
+class SharedBank;
+
 class QueryEngine {
  public:
   /// All registered automata must be over the same [0, num_symbols)
@@ -27,15 +44,29 @@ class QueryEngine {
   /// Registers a compiled query; returns its dense id. `a` must outlive
   /// the engine. Registration invalidates any in-progress stream (shared
   /// frames are sized to the bank): call BeginStream() before feeding
-  /// more. Results of a completed stream stay readable.
+  /// more. Results of a completed stream stay readable. Mutually
+  /// exclusive with AddBank().
   size_t Add(const Nwa* a);
+
+  /// Registers a shared-bank product automaton compiled from the whole
+  /// query bank (opt/bank.h); the engine then takes the shared-step path.
+  /// `bank` must outlive the engine and is mutated while streaming (its
+  /// transitions memoize on first use). Mutually exclusive with Add(),
+  /// and at most one bank.
+  void AddBank(SharedBank* bank);
 
   /// Stream symbols >= num_symbols() (element names interned after the
   /// queries were compiled) are remapped to this in-range catch-all
   /// before stepping. Without one, out-of-range symbols abort.
   void set_other_symbol(Symbol s);
 
-  size_t num_queries() const { return autos_.size(); }
+  /// Enables the match-position tap: per position per query, acceptance
+  /// is checked so first_match() can answer. Off by default — the check
+  /// costs O(K) per position on the SoA path (a bitset diff on the bank
+  /// path), which throughput-sensitive callers should not pay unasked.
+  void set_track_matches(bool on) { track_matches_ = on; }
+
+  size_t num_queries() const;
   size_t num_symbols() const { return num_symbols_; }
 
   /// Starts a new traversal: resets every query's run state to its
@@ -48,10 +79,13 @@ class QueryEngine {
   size_t Feed(TaggedSymbol t);
 
   /// Would query `id` accept the stream fed so far?
-  bool Accepting(size_t id) const {
-    return state_[id] != kNoState && autos_[id]->is_final(state_[id]);
-  }
-  bool dead(size_t id) const { return state_[id] == kNoState; }
+  bool Accepting(size_t id) const;
+  bool dead(size_t id) const;
+
+  /// Number of positions consumed in the current stream when query `id`
+  /// was first observed accepting (0 = accepting before any input), or
+  /// -1 if it has not accepted yet. Requires set_track_matches(true).
+  int64_t first_match(size_t id) const { return first_match_[id]; }
 
   /// Convenience: one traversal of `n`; element [id] of the result is
   /// query id's acceptance.
@@ -70,35 +104,52 @@ class QueryEngine {
   size_t positions() const { return positions_; }
 
   /// Shared stack frames currently held (= pending calls of the stream).
-  size_t StackDepth() const { return stack_.size() / AtLeastOne(); }
+  size_t StackDepth() const { return stack_.size() / FrameWidth(); }
   /// High-water mark of StackDepth() within the current stream (reset by
   /// BeginStream), so per-document statistics stay per-document.
   size_t MaxStackDepth() const { return max_frames_; }
   /// Peak resident run-state footprint of the current stream, in
   /// StateIds: K linear states plus K per shared stack frame at the
-  /// stack's high-water mark — O(K·depth), independent of stream length.
+  /// stack's high-water mark — O(K·depth) on the SoA path, O(depth) on
+  /// the shared-bank path (one product state per frame), independent of
+  /// stream length either way.
   size_t ResidentStates() const {
+    if (bank_ != nullptr) return 1 + max_frames_;
     return state_.size() + autos_.size() * max_frames_;
   }
 
  private:
   size_t AtLeastOne() const { return autos_.empty() ? 1 : autos_.size(); }
+  /// StateIds per shared stack frame: K on the SoA path, 1 on the bank
+  /// path (a frame is one interned product tuple).
+  size_t FrameWidth() const { return bank_ != nullptr ? 1 : AtLeastOne(); }
+  /// Records first-accept positions for queries newly observed accepting.
+  void LatchMatches();
   /// Per-query acceptance of the stream fed so far.
   std::vector<bool> Results() const;
 
   size_t num_symbols_;
   Symbol other_ = Alphabet::kNoSymbol;
   std::vector<const Nwa*> autos_;
+  SharedBank* bank_ = nullptr;
+  /// Current product state on the shared-bank path.
+  StateId bank_state_ = kNoState;
   /// Linear state per query; kNoState = that query's run is dead.
   std::vector<StateId> state_;
   /// Shared hierarchical stack, frame-major: the frame pushed by the
-  /// f-th pending call occupies [f*K, (f+1)*K).
+  /// f-th pending call occupies [f*W, (f+1)*W) for W = FrameWidth().
   std::vector<StateId> stack_;
   size_t max_frames_ = 0;
   size_t traversals_ = 0;
   size_t positions_ = 0;
+  /// Positions consumed in the current stream (reset by BeginStream).
+  size_t stream_pos_ = 0;
   /// Runs not yet dead — maintained incrementally by Feed.
   size_t live_ = 0;
+  bool track_matches_ = false;
+  std::vector<int64_t> first_match_;
+  /// Bank path: accept bits already latched (word-parallel diffing).
+  std::vector<uint64_t> seen_accepts_;
 };
 
 }  // namespace nw

@@ -3,16 +3,22 @@
 //   nwquery [options] <query-file> [xml-file ...]
 //
 // The query file holds one NWQuery per line ('#' starts a comment). All
-// queries are compiled to deterministic NWAs up front, then every
-// document — files and/or generated random documents — is streamed
-// exactly once through the batched QueryEngine.
+// queries are compiled to deterministic NWAs up front, run through the
+// NWOpt optimizer pipeline (rewrite → minimize → shared bank, see
+// opt/pipeline.h), then every document — files and/or generated random
+// documents — is streamed exactly once through the batched QueryEngine.
+// A matching query reports WHERE it matched: the number of stream
+// positions consumed when its accept state first latched.
 //
 // Options:
+//   --opt LEVEL     optimizer level: none | rewrite | min | bank | all
+//                   (default all; --opt=LEVEL also accepted)
 //   --random N      also evaluate over N generated random documents
 //   --positions P   approximate positions per random document (default 2000)
 //   --depth D       maximum depth of random documents (default 16)
 //   --seed S        random document seed (default 42)
-//   --stats         print per-document traversal / memory statistics
+//   --stats         print compile-stage state counts and per-document
+//                   traversal / memory statistics
 //   --quiet         suppress per-query match lines
 #include <cstdio>
 #include <cstring>
@@ -21,7 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "query/compile.h"
+#include "opt/pipeline.h"
 #include "query/engine.h"
 #include "query/nwquery.h"
 #include "support/rng.h"
@@ -34,6 +40,8 @@ using namespace nw;
 struct Options {
   std::string query_file;
   std::vector<std::string> xml_files;
+  OptOptions opt = OptOptions::All();
+  std::string opt_level = "all";
   size_t random_docs = 0;
   size_t positions = 2000;
   size_t depth = 16;
@@ -44,8 +52,9 @@ struct Options {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: nwquery [--random N] [--positions P] [--depth D] "
-               "[--seed S] [--stats] [--quiet] <query-file> [xml-file ...]\n");
+               "usage: nwquery [--opt none|rewrite|min|bank|all] [--random N] "
+               "[--positions P] [--depth D] [--seed S] [--stats] [--quiet] "
+               "<query-file> [xml-file ...]\n");
   return 2;
 }
 
@@ -75,7 +84,26 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       return false;
     };
     uint64_t v = 0;
-    if (arg == "--random") {
+    if (arg == "--opt" || arg.rfind("--opt=", 0) == 0) {
+      std::string level;
+      if (arg == "--opt") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "nwquery: --opt needs a level\n");
+          return false;
+        }
+        level = argv[++i];
+      } else {
+        level = arg.substr(std::strlen("--opt="));
+      }
+      if (!ParseOptLevel(level, &opt->opt)) {
+        std::fprintf(stderr,
+                     "nwquery: unknown --opt level '%s' (want none, rewrite, "
+                     "min, bank, or all)\n",
+                     level.c_str());
+        return false;
+      }
+      opt->opt_level = level;
+    } else if (arg == "--random") {
       if (!value(&v)) return false;
       opt->random_docs = v;
     } else if (arg == "--positions") {
@@ -121,9 +149,16 @@ void EvaluateDocument(const std::string& label, const std::string& text,
   for (size_t i = 0; i < results.size(); ++i) {
     matched += results[i];
     if (!opt.quiet) {
-      std::printf("%s\t%s\tquery[%zu]\t%s\n", label.c_str(),
-                  results[i] ? "MATCH" : "no-match", i,
-                  query_texts[i].c_str());
+      // A match reports WHERE: the position at which the query's accept
+      // state first latched (tagged positions consumed; 0 = before any
+      // input). Non-monotone queries (e.g. `not //b`) may latch early and
+      // stop accepting later, so the position is the FIRST observation.
+      std::string verdict = "no-match";
+      if (results[i]) {
+        verdict = "MATCH@" + std::to_string(engine->first_match(i));
+      }
+      std::printf("%s\t%s\tquery[%zu]\t%s\n", label.c_str(), verdict.c_str(),
+                  i, query_texts[i].c_str());
     }
   }
   if (opt.stats) {
@@ -175,19 +210,25 @@ int main(int argc, char** argv) {
 
   // Phase 2: fix the symbol space — query names, the text pseudo-symbol,
   // and a catch-all for element names first seen inside documents — and
-  // compile every query over it.
+  // run every query through the optimizer pipeline over it.
   alphabet.Intern("#text");
   Symbol other = alphabet.Intern("%other");
   const size_t num_symbols = alphabet.size();
-  std::vector<Nwa> compiled;
-  compiled.reserve(queries.size());
-  for (const Query& q : queries) {
-    compiled.push_back(CompileQuery(q, num_symbols));
+  OptimizedBank bank = OptimizeBank(queries, num_symbols, opt.opt);
+  if (opt.stats) {
+    std::printf("compile\tstats\topt=%s queries=%zu states_compiled=%zu "
+                "states_final=%zu shared_bank=%s\n",
+                opt.opt_level.c_str(), bank.queries.size(),
+                bank.states_compiled(), bank.states_final(),
+                bank.shared != nullptr ? "yes" : "no");
   }
 
   QueryEngine engine(num_symbols);
   engine.set_other_symbol(other);
-  for (const Nwa& a : compiled) engine.Add(&a);
+  // first_match() feeds the per-query MATCH@pos lines; a --quiet run never
+  // prints them, so it skips the per-position acceptance scan too.
+  engine.set_track_matches(!opt.quiet);
+  bank.Register(&engine);
 
   // Phase 3: stream every document once through the whole query bank.
   for (const std::string& path : opt.xml_files) {

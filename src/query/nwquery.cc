@@ -198,6 +198,7 @@ struct Parser {
 int Prec(Query::Op op) {
   switch (op) {
     case Query::Op::kOr:
+    case Query::Op::kPathSet:  // prints as an `or` chain of its paths
       return 1;
     case Query::Op::kAnd:
       return 2;
@@ -208,6 +209,14 @@ int Prec(Query::Op op) {
   }
 }
 
+void FormatSteps(const std::vector<PathStep>& steps, const Alphabet& alphabet,
+                 std::string* out) {
+  for (const PathStep& s : steps) {
+    *out += s.axis == Axis::kDescendant ? "//" : "/";
+    *out += s.name == Alphabet::kNoSymbol ? "*" : alphabet.Name(s.name);
+  }
+}
+
 void Format(const Query& q, const Alphabet& alphabet, int parent_prec,
             std::string* out) {
   int prec = Prec(q.op());
@@ -215,11 +224,18 @@ void Format(const Query& q, const Alphabet& alphabet, int parent_prec,
   if (parens) *out += "(";
   switch (q.op()) {
     case Query::Op::kPath:
-      for (const PathStep& s : q.steps()) {
-        *out += s.axis == Axis::kDescendant ? "//" : "/";
-        *out += s.name == Alphabet::kNoSymbol ? "*" : alphabet.Name(s.name);
+      FormatSteps(q.steps(), alphabet, out);
+      break;
+    case Query::Op::kPathSet: {
+      // Re-parses to the equivalent `or` chain of path atoms.
+      bool first = true;
+      for (const auto& steps : q.step_sets()) {
+        if (!first) *out += " or ";
+        first = false;
+        FormatSteps(steps, alphabet, out);
       }
       break;
+    }
     case Query::Op::kOrder: {
       bool first = true;
       for (Symbol s : q.names()) {
@@ -262,6 +278,17 @@ Query Query::Path(std::vector<PathStep> steps) {
   return Query(std::move(n));
 }
 
+Query Query::PathSet(std::vector<std::vector<PathStep>> step_sets) {
+  NW_CHECK_MSG(!step_sets.empty(), "path set needs at least one path");
+  for (const auto& steps : step_sets) {
+    NW_CHECK_MSG(!steps.empty(), "path set member needs at least one step");
+  }
+  auto n = std::make_shared<Node>();
+  n->op = Op::kPathSet;
+  n->step_sets = std::move(step_sets);
+  return Query(std::move(n));
+}
+
 Query Query::Order(std::vector<Symbol> names) {
   NW_CHECK_MSG(names.size() >= 2, "order query needs at least two names");
   auto n = std::make_shared<Node>();
@@ -301,8 +328,8 @@ Query Query::Not(Query q) {
 }
 
 bool Query::Equal(const Node& a, const Node& b) {
-  if (a.op != b.op || a.steps != b.steps || a.names != b.names ||
-      a.depth != b.depth) {
+  if (a.op != b.op || a.steps != b.steps || a.step_sets != b.step_sets ||
+      a.names != b.names || a.depth != b.depth) {
     return false;
   }
   if ((a.left == nullptr) != (b.left == nullptr)) return false;

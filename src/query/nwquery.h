@@ -69,10 +69,20 @@ class Query {
     kAnd,
     kOr,
     kNot,
+    /// Disjunction of path atoms fused into ONE atom: some element's root
+    /// path matches ANY of the step vectors. Never produced by the parser;
+    /// the optimizer's rewrite pass (opt/rewrite.h) merges `or`-sibling
+    /// path atoms into this so the compiler lowers them through a single
+    /// regex → DFA → NWA instead of per-path automata unioned via the
+    /// nondeterministic closure ops.
+    kPathSet,
   };
 
   /// Path atom; `steps` must be non-empty.
   static Query Path(std::vector<PathStep> steps);
+  /// Path-set atom; each member must be non-empty, and there must be at
+  /// least one member.
+  static Query PathSet(std::vector<std::vector<PathStep>> step_sets);
   /// Order atom; `names` must have at least two entries.
   static Query Order(std::vector<Symbol> names);
   /// Depth guard `depth >= k`.
@@ -84,6 +94,10 @@ class Query {
   Op op() const { return node_->op; }
   /// Steps of a kPath node.
   const std::vector<PathStep>& steps() const { return node_->steps; }
+  /// Member paths of a kPathSet node.
+  const std::vector<std::vector<PathStep>>& step_sets() const {
+    return node_->step_sets;
+  }
   /// Names of a kOrder node.
   const std::vector<Symbol>& names() const { return node_->names; }
   /// Threshold of a kMinDepth node.
@@ -101,7 +115,7 @@ class Query {
 
   bool is_atom() const {
     return node_->op == Op::kPath || node_->op == Op::kOrder ||
-           node_->op == Op::kMinDepth;
+           node_->op == Op::kMinDepth || node_->op == Op::kPathSet;
   }
 
   /// Structural equality (same tree shape and payloads).
@@ -113,6 +127,7 @@ class Query {
   struct Node {
     Op op;
     std::vector<PathStep> steps;
+    std::vector<std::vector<PathStep>> step_sets;
     std::vector<Symbol> names;
     size_t depth = 0;
     std::shared_ptr<const Node> left, right;
