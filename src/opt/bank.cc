@@ -1,30 +1,25 @@
 #include "opt/bank.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "support/check.h"
 
 namespace nw {
 
-namespace {
-
-uint64_t TupleHash(const std::vector<StateId>& tuple) {
+uint64_t SharedBank::TupleHash(const StateId* tuple, size_t k) {
   uint64_t h = 1469598103934665603ULL;
-  for (StateId s : tuple) {
-    h ^= s;
+  for (size_t i = 0; i < k; ++i) {
+    h ^= tuple[i];
     h *= 1099511628211ULL;
   }
   return h;
 }
 
-/// Packs a product return lookup like Nwa::ReturnKey; a pending frame
-/// (kNoState) packs as the reserved all-ones 24-bit value.
-uint64_t ProductReturnKey(StateId q, StateId hier, Symbol a) {
+uint64_t SharedBank::PackReturnKey(StateId q, StateId hier, Symbol a) {
   uint64_t h = hier == kNoState ? ((1u << 24) - 1) : hier;
   return (static_cast<uint64_t>(q) << 40) | (h << 16) | a;
 }
-
-}  // namespace
 
 SharedBank::SharedBank(std::vector<const Nwa*> autos)
     : autos_(std::move(autos)) {
@@ -43,7 +38,8 @@ SharedBank::SharedBank(std::vector<const Nwa*> autos)
 }
 
 StateId SharedBank::Intern(const std::vector<StateId>& tuple) {
-  std::vector<StateId>& bucket = buckets_[TupleHash(tuple)];
+  std::vector<StateId>& bucket =
+      buckets_[TupleHash(tuple.data(), tuple.size())];
   const size_t k = autos_.size();
   for (StateId id : bucket) {
     if (std::equal(tuple.begin(), tuple.end(), tuples_.begin() + id * k)) {
@@ -70,6 +66,75 @@ StateId SharedBank::Intern(const std::vector<StateId>& tuple) {
   call_lin_.resize(call_lin_.size() + num_symbols_, kNoState);
   call_hier_.resize(call_hier_.size() + num_symbols_, kNoState);
   return id;
+}
+
+StateId SharedBank::InternTuple(const std::vector<StateId>& tuple) {
+  NW_CHECK_MSG(tuple.size() == autos_.size(),
+               "tuple arity %zu does not match the bank's %zu queries",
+               tuple.size(), autos_.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    NW_CHECK_MSG(tuple[i] == kNoState || tuple[i] < autos_[i]->num_states(),
+                 "tuple component %zu out of range", i);
+  }
+  return Intern(tuple);
+}
+
+bool SharedBank::ExploreAll(size_t max_states) {
+  // Incremental fixed point: every (state, symbol) internal/call step and
+  // every (state, frame, symbol) return step — frames being the call-hier
+  // targets plus the pending-return sentinel — is taken exactly once.
+  // `done_lin` tracks states with closed internal/call rows; `done_ret[f]`
+  // tracks how many states have closed return rows against frame f, so a
+  // frame discovered late still gets the full state range and vice versa.
+  // Beware the size: the return closure is |Q|·|frames|·|Σ| steps, which
+  // is why exhaustive freezing suits small products only; past
+  // `max_states` we stop and let the serving layer's overflow banks cover
+  // the rest.
+  std::vector<StateId> frames{kNoState};
+  std::unordered_set<StateId> seen_frame;
+  std::vector<StateId> done_ret{0};  ///< parallel to `frames`
+  StateId done_lin = 0;
+  for (;;) {
+    bool progressed = false;
+    while (done_lin < num_states()) {
+      if (num_states() > max_states) return false;
+      StateId q = done_lin++;
+      progressed = true;
+      for (Symbol a = 0; a < num_symbols_; ++a) {
+        StepInternal(q, a);
+        StateId h;
+        StepCall(q, a, &h);
+        if (seen_frame.insert(h).second) {
+          frames.push_back(h);
+          done_ret.push_back(0);
+        }
+      }
+    }
+    for (size_t f = 0; f < frames.size(); ++f) {
+      while (done_ret[f] < num_states()) {
+        if (num_states() > max_states) return false;
+        StateId q = done_ret[f]++;
+        progressed = true;
+        for (Symbol a = 0; a < num_symbols_; ++a) {
+          StepReturn(q, frames[f], a);
+        }
+      }
+    }
+    if (!progressed) return true;
+  }
+}
+
+std::vector<SharedBank::MemoReturn> SharedBank::MemoizedReturns() const {
+  std::vector<MemoReturn> out;
+  out.reserve(returns_.size());
+  for (const auto& [key, target] : returns_) {
+    StateId q = static_cast<StateId>(key >> 40);
+    StateId h = static_cast<StateId>((key >> 16) & ((1u << 24) - 1));
+    if (h == (1u << 24) - 1) h = kNoState;  // the pending-frame packing
+    Symbol a = static_cast<Symbol>(key & 0xFFFF);
+    out.push_back({q, h, a, target});
+  }
+  return out;
 }
 
 StateId SharedBank::StepInternal(StateId q, Symbol a) {
@@ -109,7 +174,7 @@ StateId SharedBank::StepCall(StateId q, Symbol a, StateId* hier_out) {
 StateId SharedBank::StepReturn(StateId q, StateId hier, Symbol a) {
   NW_DCHECK(q < num_states() && a < num_symbols_);
   NW_DCHECK(hier == kNoState || hier < num_states());
-  uint64_t key = ProductReturnKey(q, hier, a);
+  uint64_t key = PackReturnKey(q, hier, a);
   auto it = returns_.find(key);
   if (it != returns_.end()) return it->second;
   const size_t k = autos_.size();

@@ -34,7 +34,9 @@ class SharedBank {
   /// The pointees must outlive the bank. At least one automaton.
   explicit SharedBank(std::vector<const Nwa*> autos);
 
+  /// Number of component query automata K.
   size_t num_queries() const { return autos_.size(); }
+  /// Size of the shared symbol space Σ.
   size_t num_symbols() const { return num_symbols_; }
   /// Interned tuple of the component initial states.
   StateId initial() const { return initial_; }
@@ -46,6 +48,7 @@ class SharedBank {
   // component parks kNoState in its tuple slot; the all-dead tuple is a
   // regular absorbing state, so these never return kNoState.
 
+  /// Internal position: memoized product δi.
   StateId StepInternal(StateId q, Symbol a);
   /// Writes the frame tuple to push to `*hier_out` (one StateId — the
   /// interned tuple of the K hierarchical-edge states).
@@ -54,13 +57,77 @@ class SharedBank {
   /// (each component then reads its own hier_initial).
   StateId StepReturn(StateId q, StateId hier, Symbol a);
 
+  // -- Exploration + freeze API (serve/frozen_bank.h). The serving layer
+  // pre-explores the product, snapshots it into an immutable FrozenBank,
+  // and keeps per-shard SharedBanks as mutable overflow space. --
+
+  /// Drives the lazy product to a fixed point over the whole alphabet:
+  /// every (state, symbol) internal and call step, and every return step
+  /// over (state, pushable frame, symbol) — where the pushable frames are
+  /// exactly the call-hier targets plus the pending-return sentinel — is
+  /// memoized. Afterwards a frozen snapshot cannot miss on any stream
+  /// whose symbols are in range. Stops early and returns false if the
+  /// closure would exceed `max_states` (the partial exploration is kept;
+  /// a snapshot then serves what was reached and overflows the rest).
+  bool ExploreAll(size_t max_states);
+
+  /// Interns an externally supplied component tuple (one StateId per
+  /// query, kNoState = dead run) and returns its product id. Used by the
+  /// overflow path to transplant a frozen state into a fresh bank.
+  StateId InternTuple(const std::vector<StateId>& tuple);
+
+  /// The component automata, in query order (aliases, not owned).
+  const std::vector<const Nwa*>& autos() const { return autos_; }
+
+  /// Pointer to the K component states of tuple `q` (valid until the next
+  /// interning mutation).
+  const StateId* tuple(StateId q) const {
+    return tuples_.data() + q * autos_.size();
+  }
+
+  // Non-mutating memo lookups, kNoState = that step was never taken.
+  // These are what FrozenBank::Freeze snapshots.
+
+  StateId PeekInternal(StateId q, Symbol a) const {
+    return internal_[q * num_symbols_ + a];
+  }
+  StateId PeekCallLinear(StateId q, Symbol a) const {
+    return call_lin_[q * num_symbols_ + a];
+  }
+  StateId PeekCallHier(StateId q, Symbol a) const {
+    return call_hier_[q * num_symbols_ + a];
+  }
+
+  /// FNV-1a over a K-component span — the interning hash. Shared with
+  /// FrozenBank::FindTuple so snapshot lookups agree with interning.
+  static uint64_t TupleHash(const StateId* tuple, size_t k);
+
+  /// Packs a product return lookup (24-bit states, 16-bit symbol); a
+  /// pending frame (hier == kNoState) packs as the reserved all-ones
+  /// hier value. Shared with FrozenBank's sorted return table so the
+  /// snapshot and the live memo can never disagree on layout.
+  static uint64_t PackReturnKey(StateId q, StateId hier, Symbol a);
+
+  /// One memoized return transition (hier == kNoState for the pending-
+  /// return row), unpacked for snapshotting.
+  struct MemoReturn {
+    StateId from;
+    StateId hier;
+    Symbol symbol;
+    StateId target;
+  };
+  /// Every memoized return transition, in unspecified order.
+  std::vector<MemoReturn> MemoizedReturns() const;
+
   // -- Per-state facts, computed once at interning time. --
 
   /// Accept bitset: bit (w*64+b) of word w = query (w*64+b) accepting.
   const uint64_t* accepts(StateId q) const {
     return accept_.data() + q * words_;
   }
+  /// Words per accept bitset (= ceil(num_queries / 64)).
   size_t accept_words() const { return words_; }
+  /// Is component query `id` accepting in product state `q`?
   bool accepting(StateId q, size_t id) const {
     return (accepts(q)[id / 64] >> (id % 64)) & 1;
   }

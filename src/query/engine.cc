@@ -1,28 +1,43 @@
 #include "query/engine.h"
 
 #include "opt/bank.h"
+#include "serve/frozen_bank.h"
 #include "support/check.h"
 
 namespace nw {
 
 size_t QueryEngine::num_queries() const {
+  if (frozen_ != nullptr) return frozen_->num_queries();
   return bank_ != nullptr ? bank_->num_queries() : autos_.size();
 }
 
 bool QueryEngine::Accepting(size_t id) const {
+  if (frozen_ != nullptr) {
+    if (OverflowBank::IsOverflowId(bank_state_)) {
+      return overflow_->accepting(bank_state_, id);
+    }
+    return frozen_->accepting(bank_state_, id);
+  }
   if (bank_ != nullptr) return bank_->accepting(bank_state_, id);
   return state_[id] != kNoState && autos_[id]->is_final(state_[id]);
 }
 
 bool QueryEngine::dead(size_t id) const {
+  if (frozen_ != nullptr) {
+    if (OverflowBank::IsOverflowId(bank_state_)) {
+      return overflow_->component(bank_state_, id) == kNoState;
+    }
+    return frozen_->component(bank_state_, id) == kNoState;
+  }
   if (bank_ != nullptr) return bank_->component(bank_state_, id) == kNoState;
   return state_[id] == kNoState;
 }
 
 size_t QueryEngine::Add(const Nwa* a) {
-  NW_CHECK_MSG(bank_ == nullptr,
-               "Add() and AddBank() are mutually exclusive: the engine "
-               "steps either K automata or one shared product");
+  NW_CHECK_MSG(bank_ == nullptr && frozen_ == nullptr,
+               "Add(), AddBank(), and AddFrozen() are mutually exclusive: "
+               "the engine steps K automata, one shared product, or one "
+               "frozen snapshot");
   NW_CHECK_MSG(a->num_symbols() == num_symbols_,
                "query automaton symbol space mismatch");
   // Discard frames a previous stream left pending (unclosed opens are
@@ -36,15 +51,32 @@ size_t QueryEngine::Add(const Nwa* a) {
 }
 
 void QueryEngine::AddBank(SharedBank* bank) {
-  NW_CHECK_MSG(autos_.empty() && bank_ == nullptr,
+  NW_CHECK_MSG(autos_.empty() && bank_ == nullptr && frozen_ == nullptr,
                "AddBank() needs a fresh engine: no Add()ed automata and "
-               "no previous bank");
+               "no previous bank or frozen snapshot");
   NW_CHECK_MSG(bank->num_symbols() == num_symbols_,
                "shared bank symbol space mismatch");
   stack_.clear();
   bank_ = bank;
   bank_state_ = bank_->initial();
   live_ = bank_->live(bank_state_);
+}
+
+void QueryEngine::AddFrozen(const FrozenBank* frozen,
+                            OverflowBank* overflow) {
+  NW_CHECK_MSG(autos_.empty() && bank_ == nullptr && frozen_ == nullptr,
+               "AddFrozen() needs a fresh engine: no Add()ed automata and "
+               "no previous bank or frozen snapshot");
+  NW_CHECK_MSG(frozen->num_symbols() == num_symbols_,
+               "frozen bank symbol space mismatch");
+  NW_CHECK_MSG(overflow != nullptr && overflow->frozen() == frozen,
+               "the overflow bank must be built over the same frozen "
+               "snapshot the engine steps");
+  stack_.clear();
+  frozen_ = frozen;
+  overflow_ = overflow;
+  bank_state_ = frozen_->initial();
+  live_ = frozen_->live(bank_state_);
 }
 
 void QueryEngine::set_other_symbol(Symbol s) {
@@ -56,7 +88,10 @@ void QueryEngine::set_other_symbol(Symbol s) {
 }
 
 void QueryEngine::BeginStream() {
-  if (bank_ != nullptr) {
+  if (frozen_ != nullptr) {
+    bank_state_ = frozen_->initial();
+    live_ = frozen_->live(bank_state_);
+  } else if (bank_ != nullptr) {
     bank_state_ = bank_->initial();
     live_ = bank_->live(bank_state_);
   } else {
@@ -73,6 +108,10 @@ void QueryEngine::BeginStream() {
   if (track_matches_) {
     first_match_.assign(num_queries(), -1);
     if (bank_ != nullptr) seen_accepts_.assign(bank_->accept_words(), 0);
+    if (frozen_ != nullptr) {
+      seen_accepts_.assign(frozen_->accept_words(), 0);
+      scratch_accepts_.assign(frozen_->accept_words(), 0);
+    }
     LatchMatches();  // a query may accept the empty prefix (position 0)
   }
 }
@@ -81,7 +120,7 @@ size_t QueryEngine::Feed(TaggedSymbol t) {
   ++positions_;
   ++stream_pos_;
   const size_t k = autos_.size();
-  if (bank_ == nullptr && k == 0) return 0;
+  if (bank_ == nullptr && frozen_ == nullptr && k == 0) return 0;
   Symbol s = t.symbol;
   if (s >= num_symbols_) {
     NW_CHECK_MSG(other_ != Alphabet::kNoSymbol,
@@ -90,6 +129,7 @@ size_t QueryEngine::Feed(TaggedSymbol t) {
                  s);
     s = other_;
   }
+  if (frozen_ != nullptr) return FeedFrozen(t.kind, s);
   if (bank_ != nullptr) {
     // Shared-bank path: ONE step and (per call) ONE pushed StateId for
     // the whole bank, regardless of K.
@@ -160,18 +200,95 @@ size_t QueryEngine::Feed(TaggedSymbol t) {
   return live_;
 }
 
-void QueryEngine::LatchMatches() {
-  if (bank_ != nullptr) {
-    const uint64_t* acc = bank_->accepts(bank_state_);
-    for (size_t w = 0; w < bank_->accept_words(); ++w) {
-      uint64_t fresh = acc[w] & ~seen_accepts_[w];
-      seen_accepts_[w] |= acc[w];
-      while (fresh != 0) {
-        size_t bit = static_cast<size_t>(__builtin_ctzll(fresh));
-        fresh &= fresh - 1;
-        first_match_[w * 64 + bit] = static_cast<int64_t>(stream_pos_);
+size_t QueryEngine::FeedFrozen(Kind kind, Symbol s) {
+  // Fast path: the current state is frozen and the snapshot covers the
+  // step — a lock-free table read. Any other case (state already in
+  // overflow space, or a snapshot miss) routes through the mutex-guarded
+  // overflow bank, which maps back into frozen space when it can.
+  const bool from_frozen = !OverflowBank::IsOverflowId(bank_state_);
+  switch (kind) {
+    case Kind::kInternal: {
+      StateId next = from_frozen ? frozen_->Internal(bank_state_, s)
+                                 : kNoState;
+      if (next != kNoState) {
+        ++frozen_hits_;
+      } else {
+        ++frozen_misses_;
+        next = overflow_->StepInternal(bank_state_, s);
       }
+      bank_state_ = next;
+      break;
     }
+    case Kind::kCall: {
+      StateId lin = kNoState, h = kNoState;
+      if (from_frozen) {
+        lin = frozen_->CallLinear(bank_state_, s);
+        h = frozen_->CallHier(bank_state_, s);
+      }
+      if (lin != kNoState) {
+        ++frozen_hits_;
+      } else {
+        ++frozen_misses_;
+        lin = overflow_->StepCall(bank_state_, s, &h);
+      }
+      stack_.push_back(h);
+      if (stack_.size() > max_frames_) max_frames_ = stack_.size();
+      bank_state_ = lin;
+      break;
+    }
+    case Kind::kReturn: {
+      StateId h = kNoState;  // pending return: components read P0
+      if (!stack_.empty()) {
+        h = stack_.back();
+        stack_.pop_back();
+      }
+      StateId next = kNoState;
+      if (from_frozen && (h == kNoState || !OverflowBank::IsOverflowId(h))) {
+        next = frozen_->Return(bank_state_, h, s);
+      }
+      if (next != kNoState) {
+        ++frozen_hits_;
+      } else {
+        ++frozen_misses_;
+        next = overflow_->StepReturn(bank_state_, h, s);
+      }
+      bank_state_ = next;
+      break;
+    }
+  }
+  live_ = OverflowBank::IsOverflowId(bank_state_)
+              ? overflow_->live(bank_state_)
+              : frozen_->live(bank_state_);
+  if (track_matches_) LatchMatches();
+  return live_;
+}
+
+void QueryEngine::LatchFromWords(const uint64_t* acc, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t fresh = acc[w] & ~seen_accepts_[w];
+    seen_accepts_[w] |= acc[w];
+    while (fresh != 0) {
+      size_t bit = static_cast<size_t>(__builtin_ctzll(fresh));
+      fresh &= fresh - 1;
+      first_match_[w * 64 + bit] = static_cast<int64_t>(stream_pos_);
+    }
+  }
+}
+
+void QueryEngine::LatchMatches() {
+  if (frozen_ != nullptr) {
+    const uint64_t* acc;
+    if (OverflowBank::IsOverflowId(bank_state_)) {
+      overflow_->CopyAccepts(bank_state_, scratch_accepts_.data());
+      acc = scratch_accepts_.data();
+    } else {
+      acc = frozen_->accepts(bank_state_);
+    }
+    LatchFromWords(acc, frozen_->accept_words());
+    return;
+  }
+  if (bank_ != nullptr) {
+    LatchFromWords(bank_->accepts(bank_state_), bank_->accept_words());
     return;
   }
   for (size_t i = 0; i < autos_.size(); ++i) {

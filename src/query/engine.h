@@ -14,6 +14,12 @@
 //    single StateId per call frame — per-position work and resident state
 //    become independent of K. Per-query acceptance reads the product
 //    state's accept bitset.
+//  * Frozen path (AddFrozen): the serving layer's immutable snapshot of a
+//    pre-explored shared bank (serve/frozen_bank.h). Steps covered by the
+//    snapshot are lock-free table reads safe under any number of threads
+//    (each with its own engine); a miss routes to the engine's mutex-
+//    guarded OverflowBank so coverage gaps degrade throughput, never
+//    correctness. hit/miss counters feed the serving stats.
 //
 // An optional match-position tap records, per query, the number of stream
 // positions consumed when the query was first observed accepting — the
@@ -30,10 +36,13 @@
 
 namespace nw {
 
-// The shared-bank product lives a layer above (opt/bank.h); the engine
-// only holds a pointer to it, so the base query layer's headers stay free
-// of upward includes.
+// The shared-bank product (opt/bank.h) and the serving layer's frozen
+// snapshot (serve/frozen_bank.h) live layers above; the engine only holds
+// pointers to them, so the base query layer's headers stay free of upward
+// includes.
 class SharedBank;
+class FrozenBank;
+class OverflowBank;
 
 class QueryEngine {
  public:
@@ -54,6 +63,15 @@ class QueryEngine {
   /// transitions memoize on first use). Mutually exclusive with Add(),
   /// and at most one bank.
   void AddBank(SharedBank* bank);
+
+  /// Registers a frozen snapshot of a pre-explored shared bank plus the
+  /// overflow bank to route snapshot misses to (serve/frozen_bank.h).
+  /// `frozen` is immutable and may back any number of engines
+  /// concurrently; `overflow` must have been built over the same
+  /// `frozen`, is mutated while streaming, and should be private to this
+  /// engine's shard (its mutex makes sharing safe, merely slow). Both
+  /// must outlive the engine. Mutually exclusive with Add()/AddBank().
+  void AddFrozen(const FrozenBank* frozen, OverflowBank* overflow);
 
   /// Stream symbols >= num_symbols() (element names interned after the
   /// queries were compiled) are remapped to this in-range catch-all
@@ -97,6 +115,12 @@ class QueryEngine {
   /// `*alphabet` (remapped via set_other_symbol when out of range).
   std::vector<bool> RunAll(const std::string& xml_text, Alphabet* alphabet);
 
+  /// Frozen-path steps answered by the immutable snapshot (lock-free).
+  size_t frozen_hits() const { return frozen_hits_; }
+  /// Frozen-path steps that missed the snapshot and took the overflow
+  /// bank's mutex. hits + misses = positions fed on the frozen path.
+  size_t frozen_misses() const { return frozen_misses_; }
+
   /// Number of BeginStream() calls — the "K queries, one traversal"
   /// witness asserted by tests and reported by the benchmarks.
   size_t traversals() const { return traversals_; }
@@ -114,17 +138,23 @@ class QueryEngine {
   /// the shared-bank path (one product state per frame), independent of
   /// stream length either way.
   size_t ResidentStates() const {
-    if (bank_ != nullptr) return 1 + max_frames_;
+    if (bank_ != nullptr || frozen_ != nullptr) return 1 + max_frames_;
     return state_.size() + autos_.size() * max_frames_;
   }
 
  private:
   size_t AtLeastOne() const { return autos_.empty() ? 1 : autos_.size(); }
   /// StateIds per shared stack frame: K on the SoA path, 1 on the bank
-  /// path (a frame is one interned product tuple).
-  size_t FrameWidth() const { return bank_ != nullptr ? 1 : AtLeastOne(); }
+  /// and frozen paths (a frame is one interned product tuple).
+  size_t FrameWidth() const {
+    return bank_ != nullptr || frozen_ != nullptr ? 1 : AtLeastOne();
+  }
   /// Records first-accept positions for queries newly observed accepting.
   void LatchMatches();
+  /// Word-parallel accept diffing shared by the bank and frozen paths.
+  void LatchFromWords(const uint64_t* acc, size_t words);
+  /// One stream position on the frozen path (split out of Feed).
+  size_t FeedFrozen(Kind kind, Symbol s);
   /// Per-query acceptance of the stream fed so far.
   std::vector<bool> Results() const;
 
@@ -132,7 +162,10 @@ class QueryEngine {
   Symbol other_ = Alphabet::kNoSymbol;
   std::vector<const Nwa*> autos_;
   SharedBank* bank_ = nullptr;
-  /// Current product state on the shared-bank path.
+  const FrozenBank* frozen_ = nullptr;
+  OverflowBank* overflow_ = nullptr;
+  /// Current product state on the shared-bank path; on the frozen path a
+  /// mixed-space id (frozen, or overflow-tagged after a snapshot miss).
   StateId bank_state_ = kNoState;
   /// Linear state per query; kNoState = that query's run is dead.
   std::vector<StateId> state_;
@@ -148,8 +181,12 @@ class QueryEngine {
   size_t live_ = 0;
   bool track_matches_ = false;
   std::vector<int64_t> first_match_;
-  /// Bank path: accept bits already latched (word-parallel diffing).
+  /// Bank/frozen paths: accept bits already latched (word-parallel diff).
   std::vector<uint64_t> seen_accepts_;
+  /// Frozen path: scratch for an overflow state's accept bitset copy.
+  std::vector<uint64_t> scratch_accepts_;
+  size_t frozen_hits_ = 0;
+  size_t frozen_misses_ = 0;
 };
 
 }  // namespace nw

@@ -13,12 +13,22 @@
 // Options:
 //   --opt LEVEL     optimizer level: none | rewrite | min | bank | all
 //                   (default all; --opt=LEVEL also accepted)
+//   --threads N     shard the documents across N worker threads over a
+//                   frozen bank (implies --freeze; requires an --opt level
+//                   that builds the shared bank: bank or all)
+//   --freeze[=F,..] pre-explore the shared bank and serve an immutable
+//                   snapshot: with no value, exhaustively over the query
+//                   alphabet; with a comma-separated list of XML files,
+//                   by training on those documents (steps the training
+//                   never saw fall back to a per-shard overflow bank)
 //   --random N      also evaluate over N generated random documents
 //   --positions P   approximate positions per random document (default 2000)
 //   --depth D       maximum depth of random documents (default 16)
 //   --seed S        random document seed (default 42)
 //   --stats         print compile-stage state counts and per-document
-//                   traversal / memory statistics
+//                   traversal / memory statistics (plus, when serving
+//                   frozen, the aggregate serve stats with the frozen-
+//                   bank hit rate)
 //   --quiet         suppress per-query match lines
 #include <cstdio>
 #include <cstring>
@@ -30,6 +40,8 @@
 #include "opt/pipeline.h"
 #include "query/engine.h"
 #include "query/nwquery.h"
+#include "serve/frozen_bank.h"
+#include "serve/sharded.h"
 #include "support/rng.h"
 #include "xml/xml.h"
 
@@ -42,6 +54,9 @@ struct Options {
   std::vector<std::string> xml_files;
   OptOptions opt = OptOptions::All();
   std::string opt_level = "all";
+  size_t threads = 1;
+  bool freeze = false;
+  std::vector<std::string> freeze_files;
   size_t random_docs = 0;
   size_t positions = 2000;
   size_t depth = 16;
@@ -52,7 +67,8 @@ struct Options {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: nwquery [--opt none|rewrite|min|bank|all] [--random N] "
+               "usage: nwquery [--opt none|rewrite|min|bank|all] "
+               "[--threads N] [--freeze[=train.xml,...]] [--random N] "
                "[--positions P] [--depth D] [--seed S] [--stats] [--quiet] "
                "<query-file> [xml-file ...]\n");
   return 2;
@@ -103,6 +119,31 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->opt_level = level;
+    } else if (arg == "--threads") {
+      if (!value(&v)) return false;
+      if (v == 0) {
+        std::fprintf(stderr, "nwquery: --threads must be >= 1\n");
+        return false;
+      }
+      opt->threads = v;
+    } else if (arg == "--freeze") {
+      opt->freeze = true;
+    } else if (arg.rfind("--freeze=", 0) == 0) {
+      opt->freeze = true;
+      std::string list = arg.substr(std::strlen("--freeze="));
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) {
+          opt->freeze_files.push_back(list.substr(start, comma - start));
+        }
+        start = comma + 1;
+      }
+      if (opt->freeze_files.empty()) {
+        std::fprintf(stderr, "nwquery: --freeze= needs at least one file\n");
+        return false;
+      }
     } else if (arg == "--random") {
       if (!value(&v)) return false;
       opt->random_docs = v;
@@ -126,6 +167,15 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       positional.push_back(std::move(arg));
     }
   }
+  // Sharding needs the immutable snapshot (a lazily-memoized SharedBank
+  // mutates while streaming and cannot back concurrent engines).
+  if (opt->threads > 1) opt->freeze = true;
+  if (opt->freeze && !opt->opt.bank) {
+    std::fprintf(stderr,
+                 "nwquery: --freeze/--threads need the shared bank; use "
+                 "--opt bank or --opt all\n");
+    return false;
+  }
   if (opt->random_docs > 0 && opt->depth == 0) {
     std::fprintf(stderr,
                  "nwquery: --depth must be >= 1 (documents need a root)\n");
@@ -137,6 +187,50 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
   return opt->random_docs > 0 || !opt->xml_files.empty();
 }
 
+/// Reads a whole file; false (with a message) when it cannot be opened.
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "nwquery: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Builds the random-document generator alphabet: the element names the
+/// queries mention (skipping the pseudo-symbols) plus one name the
+/// queries do not know, so the catch-all remapping path is exercised.
+Alphabet GeneratorAlphabet(const Alphabet& alphabet, size_t num_symbols) {
+  Alphabet gen;
+  for (Symbol s = 0; s < num_symbols; ++s) {
+    const std::string& name = alphabet.Name(s);
+    if (name != "#text" && name != "%other") gen.Intern(name);
+  }
+  gen.Intern("unlisted");
+  return gen;
+}
+
+/// Per-query match lines for one document (shared by the single-stream
+/// and sharded paths so their outputs stay byte-identical).
+void PrintMatchLines(const std::string& label, const std::vector<bool>& hits,
+                     const std::vector<int64_t>& first_match,
+                     const std::vector<std::string>& query_texts) {
+  for (size_t i = 0; i < hits.size(); ++i) {
+    // A match reports WHERE: the position at which the query's accept
+    // state first latched (tagged positions consumed; 0 = accepting
+    // before any input). Non-monotone queries (e.g. `not //b`) may latch
+    // early and stop accepting later, so the position is the FIRST
+    // observation.
+    std::string verdict = "no-match";
+    if (hits[i]) verdict = "MATCH@" + std::to_string(first_match[i]);
+    std::printf("%s\t%s\tquery[%zu]\t%s\n", label.c_str(), verdict.c_str(),
+                i, query_texts[i].c_str());
+  }
+}
+
 /// Streams one document through the engine and reports results.
 void EvaluateDocument(const std::string& label, const std::string& text,
                       const std::vector<std::string>& query_texts,
@@ -146,20 +240,13 @@ void EvaluateDocument(const std::string& label, const std::string& text,
   std::vector<bool> results = engine->RunAll(text, alphabet);
   size_t doc_positions = engine->positions() - positions_before;
   size_t matched = 0;
-  for (size_t i = 0; i < results.size(); ++i) {
-    matched += results[i];
-    if (!opt.quiet) {
-      // A match reports WHERE: the position at which the query's accept
-      // state first latched (tagged positions consumed; 0 = before any
-      // input). Non-monotone queries (e.g. `not //b`) may latch early and
-      // stop accepting later, so the position is the FIRST observation.
-      std::string verdict = "no-match";
-      if (results[i]) {
-        verdict = "MATCH@" + std::to_string(engine->first_match(i));
-      }
-      std::printf("%s\t%s\tquery[%zu]\t%s\n", label.c_str(), verdict.c_str(),
-                  i, query_texts[i].c_str());
+  for (bool hit : results) matched += hit;
+  if (!opt.quiet) {
+    std::vector<int64_t> first_match(results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      first_match[i] = engine->first_match(i);
     }
+    PrintMatchLines(label, results, first_match, query_texts);
   }
   if (opt.stats) {
     std::printf(
@@ -169,6 +256,86 @@ void EvaluateDocument(const std::string& label, const std::string& text,
         engine->MaxStackDepth(), engine->ResidentStates(),
         engine->traversals());
   }
+}
+
+/// The --freeze/--threads path: pre-explore the shared bank, snapshot it
+/// into an immutable FrozenBank, and shard the whole corpus across worker
+/// threads. Output (match lines, per-document order) is byte-identical to
+/// the single-stream path at any thread count.
+int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
+                size_t num_symbols, Symbol other,
+                const std::vector<std::string>& query_texts) {
+  /// Exhaustive-exploration guard. The full product is exponential in the
+  /// bank size and its return closure is |Q|·|frames|·|Σ| steps, so
+  /// exhaustive freezing is for small banks; a bank that trips the cap is
+  /// served from the partial snapshot (or should be trained with
+  /// --freeze=corpus instead).
+  constexpr size_t kFreezeStateCap = 1u << 16;
+  SharedBank* shared = bank->shared.get();
+  if (!opt.freeze_files.empty()) {
+    // Train: stream the training corpus through a single-stream engine
+    // over the shared bank; its memoization IS the exploration.
+    QueryEngine trainer(num_symbols);
+    trainer.set_other_symbol(other);
+    trainer.AddBank(shared);
+    for (const std::string& path : opt.freeze_files) {
+      std::string text;
+      if (!ReadFile(path, &text)) return 1;
+      trainer.RunAll(text, alphabet);
+    }
+  } else if (!shared->ExploreAll(kFreezeStateCap)) {
+    std::fprintf(stderr,
+                 "nwquery: exhaustive exploration stopped at %zu product "
+                 "states; serving the partial snapshot (misses fall back "
+                 "to the overflow banks)\n",
+                 shared->num_states());
+  }
+  FrozenBank frozen = FrozenBank::Freeze(*shared);
+
+  // Materialize the corpus — same documents, same labels, same order as
+  // the single-stream path.
+  std::vector<std::string> labels;
+  std::vector<std::string> corpus;
+  for (const std::string& path : opt.xml_files) {
+    std::string text;
+    if (!ReadFile(path, &text)) return 1;
+    labels.push_back(path);
+    corpus.push_back(std::move(text));
+  }
+  if (opt.random_docs > 0) {
+    Alphabet gen = GeneratorAlphabet(*alphabet, num_symbols);
+    Rng rng(opt.seed);
+    for (size_t d = 0; d < opt.random_docs; ++d) {
+      labels.push_back("random[" + std::to_string(d) + "]");
+      corpus.push_back(RandomXmlDocument(&rng, gen, opt.positions, opt.depth));
+    }
+  }
+
+  ShardedEvaluator evaluator(&frozen, num_symbols, other, opt.threads);
+  std::vector<DocResult> results =
+      evaluator.EvaluateCorpus(corpus, *alphabet, !opt.quiet);
+  for (size_t d = 0; d < results.size(); ++d) {
+    size_t matched = 0;
+    for (bool hit : results[d].accept) matched += hit;
+    if (!opt.quiet) {
+      PrintMatchLines(labels[d], results[d].accept, results[d].first_match,
+                      query_texts);
+    }
+    if (opt.stats) {
+      std::printf("%s\tstats\tpositions=%zu matched=%zu/%zu\n",
+                  labels[d].c_str(), results[d].positions, matched,
+                  results[d].accept.size());
+    }
+  }
+  if (opt.stats) {
+    const ServeStats& s = evaluator.stats();
+    std::printf(
+        "serve\tstats\tthreads=%zu docs=%zu positions=%zu frozen_states=%zu "
+        "frozen_hits=%zu frozen_misses=%zu hit_rate=%.4f\n",
+        s.threads, s.documents, s.positions, frozen.num_states(),
+        s.frozen_hits, s.frozen_misses, s.hit_rate());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -223,6 +390,13 @@ int main(int argc, char** argv) {
                 bank.shared != nullptr ? "yes" : "no");
   }
 
+  // Phase 3a: frozen serving — pre-explore, snapshot, shard.
+  if (opt.freeze) {
+    return ServeFrozen(opt, &bank, &alphabet, num_symbols, other,
+                       query_texts);
+  }
+
+  // Phase 3b: single stream — every document once through the whole bank.
   QueryEngine engine(num_symbols);
   engine.set_other_symbol(other);
   // first_match() feeds the per-query MATCH@pos lines; a --quiet run never
@@ -230,29 +404,14 @@ int main(int argc, char** argv) {
   engine.set_track_matches(!opt.quiet);
   bank.Register(&engine);
 
-  // Phase 3: stream every document once through the whole query bank.
   for (const std::string& path : opt.xml_files) {
-    std::ifstream df(path);
-    if (!df) {
-      std::fprintf(stderr, "nwquery: cannot open %s\n", path.c_str());
-      return 1;
-    }
-    std::ostringstream buf;
-    buf << df.rdbuf();
-    std::string text = buf.str();
+    std::string text;
+    if (!ReadFile(path, &text)) return 1;
     EvaluateDocument(path, text, query_texts, &alphabet, &engine, opt);
   }
 
   if (opt.random_docs > 0) {
-    // Generator alphabet: the element names the queries mention (skipping
-    // the pseudo-symbols) plus one name the queries do not know, so the
-    // catch-all remapping path is exercised.
-    Alphabet gen;
-    for (Symbol s = 0; s < num_symbols; ++s) {
-      const std::string& name = alphabet.Name(s);
-      if (name != "#text" && name != "%other") gen.Intern(name);
-    }
-    gen.Intern("unlisted");
+    Alphabet gen = GeneratorAlphabet(alphabet, num_symbols);
     Rng rng(opt.seed);
     for (size_t d = 0; d < opt.random_docs; ++d) {
       std::string text =

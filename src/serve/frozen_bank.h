@@ -1,0 +1,197 @@
+// Frozen shared banks for parallel serving (ROADMAP: parallel sharded
+// streams; the "eager/frozen bank" follow-on of the NWOpt bank).
+//
+// A SharedBank (opt/bank.h) is mutated while streaming — its product
+// transitions memoize on first use — so it cannot back more than one
+// concurrent stream. The serving layer splits that one object into two
+// roles:
+//
+//  * FrozenBank — an immutable snapshot of everything a SharedBank has
+//    explored (after training on a corpus or an exhaustive ExploreAll),
+//    re-laid-out for concurrent readers: dense flat internal/call tables,
+//    a sorted sparse return table probed by binary search, accept bitsets
+//    and live counts per state. After Freeze() nothing is ever written,
+//    so any number of threads may step it lock-free.
+//  * OverflowBank — a per-shard, mutex-guarded escape hatch for steps the
+//    snapshot never saw. A miss transplants the frozen state's component
+//    tuple into a shard-local SharedBank, steps it there, and maps the
+//    result BACK into frozen space whenever the resulting tuple is one
+//    the snapshot knows — so a transient excursion (one unusual symbol)
+//    costs a few locked steps, not a permanently degraded shard.
+//    Correctness therefore never depends on training coverage.
+//
+// Id spaces: frozen ids are the SharedBank ids at snapshot time (dense,
+// < num_states()). Overflow ids are shard-local SharedBank ids tagged
+// with kOverflowBit so the two spaces cannot collide; kNoState keeps its
+// usual meaning ("miss" from frozen lookups, "pending frame" in returns).
+#ifndef NW_SERVE_FROZEN_BANK_H_
+#define NW_SERVE_FROZEN_BANK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/bank.h"
+
+namespace nw {
+
+/// Immutable, cache-friendly snapshot of an explored SharedBank.
+///
+/// Invariant: every member is written once inside Freeze() and never
+/// again — concurrent readers need no synchronization. Lookups return
+/// kNoState for steps the snapshot does not cover (route those to an
+/// OverflowBank); covered steps always return a valid frozen id.
+class FrozenBank {
+ public:
+  /// Snapshots `bank` as explored so far. Train first: either stream a
+  /// corpus through a QueryEngine::AddBank engine, or call
+  /// bank.ExploreAll() for a coverage-complete snapshot.
+  static FrozenBank Freeze(const SharedBank& bank);
+
+  size_t num_queries() const { return autos_.size(); }
+  size_t num_symbols() const { return num_symbols_; }
+  /// Product states in the snapshot (frozen ids are < this).
+  size_t num_states() const { return num_states_; }
+  /// Frozen id of the interned tuple of component initial states.
+  StateId initial() const { return initial_; }
+  /// Words per accept bitset (= ceil(num_queries / 64)).
+  size_t accept_words() const { return words_; }
+
+  // -- Lock-free lookups (kNoState = not in the snapshot). --
+
+  /// δi on the frozen product.
+  StateId Internal(StateId q, Symbol a) const {
+    return internal_[q * num_symbols_ + a];
+  }
+  /// Linear half of δc; a covered call always has both halves.
+  StateId CallLinear(StateId q, Symbol a) const {
+    return call_lin_[q * num_symbols_ + a];
+  }
+  /// Hierarchical half of δc (the frame tuple to push).
+  StateId CallHier(StateId q, Symbol a) const {
+    return call_hier_[q * num_symbols_ + a];
+  }
+  /// δr; `hier` is a frozen frame id or kNoState for a pending return.
+  StateId Return(StateId q, StateId hier, Symbol a) const;
+
+  // -- Per-state facts, snapshot copies of the SharedBank's. --
+
+  /// Accept bitset of state `q` (bit i = query i accepting).
+  const uint64_t* accepts(StateId q) const {
+    return accept_.data() + q * words_;
+  }
+  bool accepting(StateId q, size_t id) const {
+    return (accepts(q)[id / 64] >> (id % 64)) & 1;
+  }
+  /// Still-live component runs in state `q`.
+  size_t live(StateId q) const { return live_[q]; }
+  /// Component query `id`'s state in tuple `q` (kNoState = dead run).
+  StateId component(StateId q, size_t id) const {
+    return tuples_[q * autos_.size() + id];
+  }
+  /// Pointer to the K component states of tuple `q`.
+  const StateId* tuple(StateId q) const {
+    return tuples_.data() + q * autos_.size();
+  }
+
+  /// Frozen id of the state with exactly this component tuple, or
+  /// kNoState when the snapshot never interned it. This is the overflow
+  /// path's way back into lock-free territory.
+  StateId FindTuple(const StateId* tuple) const;
+
+  /// The component automata (aliases into the optimizer's bank; they must
+  /// outlive the FrozenBank and every OverflowBank built from it).
+  const std::vector<const Nwa*>& autos() const { return autos_; }
+
+ private:
+  FrozenBank() = default;
+
+  std::vector<const Nwa*> autos_;
+  size_t num_symbols_ = 0;
+  size_t num_states_ = 0;
+  size_t words_ = 0;
+  StateId initial_ = kNoState;
+  std::vector<StateId> internal_;   ///< dense [q*|Σ|+a]
+  std::vector<StateId> call_lin_;   ///< dense [q*|Σ|+a]
+  std::vector<StateId> call_hier_;  ///< dense [q*|Σ|+a]
+  std::vector<uint64_t> return_keys_;  ///< sorted packed (q, hier, a)
+  std::vector<StateId> return_targets_;  ///< parallel to return_keys_
+  std::vector<StateId> tuples_;          ///< K per state, state-major
+  std::vector<uint64_t> accept_;
+  std::vector<uint32_t> live_;
+  std::unordered_map<uint64_t, std::vector<StateId>> buckets_;
+};
+
+/// Mutable escape hatch for steps a FrozenBank snapshot does not cover.
+///
+/// Locking discipline: every public method takes the single internal
+/// mutex for its whole duration; no method calls another public method,
+/// so the lock is never taken twice. The bank is therefore safe to share
+/// between threads, but the intended deployment is ONE OverflowBank per
+/// shard (see ShardedEvaluator) so the mutex is uncontended and the
+/// frozen fast path never waits on a neighbor shard's miss.
+///
+/// Ids accepted and returned are mixed-space: frozen ids pass through
+/// untagged, shard-local overflow states carry kOverflowBit. Stepping out
+/// of a frozen state transplants its component tuple into the local
+/// SharedBank; every produced state is mapped back to its frozen twin
+/// when one exists.
+class OverflowBank {
+ public:
+  /// Tag bit distinguishing overflow-space ids from frozen ids. Safe:
+  /// SharedBank ids stay below 2^24 by construction.
+  static constexpr StateId kOverflowBit = 1u << 30;
+  /// True for ids living in this bank's local space. `q` must not be
+  /// kNoState (which would trivially carry the bit).
+  static bool IsOverflowId(StateId q) { return (q & kOverflowBit) != 0; }
+
+  /// `frozen` must outlive the bank.
+  explicit OverflowBank(const FrozenBank* frozen);
+
+  // -- Steps, mirroring the engine-facing SharedBank API. `q` (and `hier`)
+  // may be frozen or overflow ids; results are frozen ids whenever the
+  // target tuple exists in the snapshot. --
+
+  StateId StepInternal(StateId q, Symbol a);
+  StateId StepCall(StateId q, Symbol a, StateId* hier_out);
+  /// `hier` is a mixed-space frame id or kNoState for a pending return.
+  StateId StepReturn(StateId q, StateId hier, Symbol a);
+
+  // -- Per-state facts for OVERFLOW-space ids (frozen ids answer these
+  // lock-free from the FrozenBank itself). --
+
+  /// Copies state `q`'s accept bitset into `out[0..accept_words)`.
+  void CopyAccepts(StateId q, uint64_t* out);
+  bool accepting(StateId q, size_t id);
+  size_t live(StateId q);
+  StateId component(StateId q, size_t id);
+
+  /// The snapshot this bank overflows for.
+  const FrozenBank* frozen() const { return frozen_; }
+  /// Steps serviced by this bank (= the shard's frozen misses).
+  size_t steps() const { return steps_; }
+  /// Local product states materialized by misses so far.
+  size_t num_states();
+
+ private:
+  /// Resolves a mixed-space id to a local SharedBank id, transplanting a
+  /// frozen tuple on first sight. Caller holds mu_.
+  StateId ToLocal(StateId q);
+  /// Maps a local step result back to its frozen twin when the snapshot
+  /// has one, else tags it. Caller holds mu_.
+  StateId FromLocal(StateId local);
+
+  const FrozenBank* frozen_;
+  std::mutex mu_;
+  SharedBank local_;
+  size_t steps_ = 0;
+  std::unordered_map<StateId, StateId> frozen_to_local_;
+  /// Lazy local→frozen cache; kNoState entries mean "not probed yet",
+  /// probed twins are either a frozen id or kOverflowBit|local.
+  std::vector<StateId> local_twin_;
+};
+
+}  // namespace nw
+
+#endif  // NW_SERVE_FROZEN_BANK_H_

@@ -1,0 +1,116 @@
+#include "serve/sharded.h"
+
+#include <atomic>
+#include <thread>
+
+#include "query/engine.h"
+#include "support/check.h"
+#include "xml/xml.h"
+
+namespace nw {
+
+ShardedEvaluator::ShardedEvaluator(const FrozenBank* frozen,
+                                   size_t num_symbols, Symbol other_symbol,
+                                   size_t threads)
+    : frozen_(frozen),
+      num_symbols_(num_symbols),
+      other_(other_symbol),
+      threads_(threads) {
+  NW_CHECK_MSG(threads >= 1, "sharded evaluation needs at least one thread");
+  NW_CHECK_MSG(frozen->num_symbols() == num_symbols,
+               "frozen bank symbol space mismatch");
+}
+
+std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
+    const std::vector<std::string>& corpus, const Alphabet& alphabet,
+    bool track_matches) {
+  std::vector<DocResult> results(corpus.size());
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> hits{0}, misses{0}, total_positions{0};
+  // Each worker owns every piece of mutable state it touches: the engine
+  // (run state), the overflow bank (snapshot-miss escape hatch), and an
+  // alphabet copy (streaming interns names first seen in documents — the
+  // copies may diverge, but every post-freeze symbol remaps to the
+  // catch-all before stepping, so results cannot depend on the ids).
+  // Only the FrozenBank is shared, and it is read-only by construction.
+  auto worker = [&]() {
+    Alphabet local_alphabet = alphabet;
+    OverflowBank overflow(frozen_);
+    QueryEngine engine(num_symbols_);
+    if (other_ != Alphabet::kNoSymbol) engine.set_other_symbol(other_);
+    engine.set_track_matches(track_matches);
+    engine.AddFrozen(frozen_, &overflow);
+    for (;;) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= corpus.size()) break;
+      size_t before = engine.positions();
+      DocResult& r = results[i];
+      r.accept = engine.RunAll(corpus[i], &local_alphabet);
+      r.positions = engine.positions() - before;
+      if (track_matches) {
+        r.first_match.resize(engine.num_queries());
+        for (size_t q = 0; q < r.first_match.size(); ++q) {
+          r.first_match[q] = engine.first_match(q);
+        }
+      }
+    }
+    hits.fetch_add(engine.frozen_hits(), std::memory_order_relaxed);
+    misses.fetch_add(engine.frozen_misses(), std::memory_order_relaxed);
+    total_positions.fetch_add(engine.positions(),
+                              std::memory_order_relaxed);
+  };
+  // No point spawning more workers than documents; one worker still runs
+  // for an empty corpus so stats come back well-defined.
+  size_t n = threads_;
+  if (corpus.size() < n) n = corpus.size() > 0 ? corpus.size() : 1;
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (size_t w = 0; w < n; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  stats_ = ServeStats{};
+  stats_.documents = corpus.size();
+  stats_.positions = total_positions.load();
+  stats_.frozen_hits = hits.load();
+  stats_.frozen_misses = misses.load();
+  stats_.threads = n;
+  return results;
+}
+
+std::vector<std::string> SplitTopLevel(const std::string& xml) {
+  // Driven by the real tokenizer (XmlTokenStream::pos() exposes token
+  // byte boundaries), so a chunk boundary can never fall inside a
+  // construct the tokenizer treats as one token and the two can never
+  // drift. Depth is tracked from the token kinds exactly as an engine
+  // would: calls push, returns pop (clamped — a stray close at top level
+  // becomes its own chunk). A boundary is cut whenever a return leaves
+  // the stream at depth 0; top-level text attaches to the FOLLOWING
+  // element's chunk.
+  std::vector<std::string> out;
+  Alphabet scratch;
+  XmlTokenStream stream(xml, &scratch);
+  TaggedSymbol t;
+  size_t chunk_start = 0;
+  size_t depth = 0;
+  while (stream.Next(&t)) {
+    switch (t.kind) {
+      case Kind::kCall:
+        ++depth;
+        break;
+      case Kind::kReturn:
+        if (depth > 0) --depth;
+        if (depth == 0) {
+          out.push_back(xml.substr(chunk_start, stream.pos() - chunk_start));
+          chunk_start = stream.pos();
+        }
+        break;
+      case Kind::kInternal:
+        break;
+    }
+  }
+  // Trailing top-level text and unclosed opens spill into a final chunk.
+  if (chunk_start < xml.size()) out.push_back(xml.substr(chunk_start));
+  if (out.empty()) out.push_back(xml);
+  return out;
+}
+
+}  // namespace nw

@@ -1,0 +1,106 @@
+// Parallel sharded streaming evaluation (ROADMAP: parallel sharded
+// streams). One immutable FrozenBank backs N worker threads; each worker
+// owns a private QueryEngine (run state is per-stream), a private copy of
+// the alphabet (interning mutates it), and a private mutex-guarded
+// OverflowBank for snapshot misses. Documents are pulled off a shared
+// atomic cursor, so shards load-balance dynamically, and every result is
+// written to the document's own slot — the merged output is a pure
+// function of the corpus, independent of thread count and scheduling
+// (the differential tests in tests/serve_test.cc pin byte-identity
+// against the single-stream AddBank path at N ∈ {1, 2, 8}).
+#ifndef NW_SERVE_SHARDED_H_
+#define NW_SERVE_SHARDED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nw/alphabet.h"
+#include "serve/frozen_bank.h"
+
+namespace nw {
+
+/// One document's evaluation, in corpus order.
+struct DocResult {
+  /// Per-query acceptance of the whole document.
+  std::vector<bool> accept;
+  /// Per-query first-accept position (−1 = never), present only when
+  /// match tracking was requested.
+  std::vector<int64_t> first_match;
+  /// Tagged positions the document streamed to.
+  size_t positions = 0;
+};
+
+/// Aggregate counters of one EvaluateCorpus call, summed over shards.
+struct ServeStats {
+  size_t documents = 0;
+  size_t positions = 0;
+  /// Steps answered lock-free by the frozen snapshot.
+  size_t frozen_hits = 0;
+  /// Steps that took a shard's overflow mutex.
+  size_t frozen_misses = 0;
+  /// Worker threads the corpus was sharded across.
+  size_t threads = 0;
+
+  /// Fraction of steps served lock-free (1.0 on a fully-explored bank).
+  double hit_rate() const {
+    size_t total = frozen_hits + frozen_misses;
+    return total == 0 ? 1.0 : static_cast<double>(frozen_hits) / total;
+  }
+};
+
+/// Worker-threaded corpus evaluation over one frozen bank. Each
+/// EvaluateCorpus call spawns up to `threads` fresh workers and joins
+/// them before returning (no persistent pool — worker state is rebuilt
+/// per call).
+///
+/// Invariants: the FrozenBank is never written after construction, so
+/// workers read it without synchronization; all mutable run state
+/// (engine, overflow bank, alphabet copy) is shard-private. The
+/// evaluator itself is NOT re-entrant — call EvaluateCorpus from one
+/// thread at a time.
+class ShardedEvaluator {
+ public:
+  /// `frozen` must outlive the evaluator. `num_symbols` and
+  /// `other_symbol` configure each worker engine exactly like the
+  /// single-stream CLI path (out-of-space stream symbols remap to the
+  /// catch-all). `threads` >= 1.
+  ShardedEvaluator(const FrozenBank* frozen, size_t num_symbols,
+                   Symbol other_symbol, size_t threads);
+
+  /// Streams every document of `corpus` through the whole query bank,
+  /// sharded across the worker threads, and returns per-document results
+  /// in corpus order. `alphabet` is copied per worker (streaming interns
+  /// new element names); the caller's instance is not touched. With
+  /// `track_matches`, per-query first-accept positions are recorded
+  /// (costs an accept-bitset diff per position).
+  std::vector<DocResult> EvaluateCorpus(const std::vector<std::string>& corpus,
+                                        const Alphabet& alphabet,
+                                        bool track_matches);
+
+  /// Counters of the most recent EvaluateCorpus call.
+  const ServeStats& stats() const { return stats_; }
+
+ private:
+  const FrozenBank* frozen_;
+  size_t num_symbols_;
+  Symbol other_;
+  size_t threads_;
+  ServeStats stats_;
+};
+
+/// Splits an XML document at top-level element boundaries: each returned
+/// chunk is one complete top-level element (with any immediately
+/// preceding top-level text/stray markup). Concatenating the chunks
+/// yields the input. Intended for sharding one huge record-stream
+/// document (e.g. a <feed> of entries with the envelope stripped) as if
+/// each record were its own document — note the semantics change:
+/// queries then match per record, not across records (an `a then b`
+/// spanning two records no longer matches). Unclosed opens spill into
+/// the trailing chunk; a document with no top-level structure comes back
+/// as a single chunk.
+std::vector<std::string> SplitTopLevel(const std::string& xml);
+
+}  // namespace nw
+
+#endif  // NW_SERVE_SHARDED_H_

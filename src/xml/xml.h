@@ -36,6 +36,14 @@ class XmlTokenStream {
   /// Produces the next position into `*out`; false at end of input.
   bool Next(TaggedSymbol* out);
 
+  /// Byte offset of the scan: everything before it has been consumed by
+  /// the positions yielded so far (including skipped comments/doctype/PI
+  /// and, after a self-closing tag's call, the tag whose return is still
+  /// queued). Lets consumers cut the text at token boundaries — the
+  /// serving layer's SplitTopLevel is built on this instead of a second
+  /// tag classifier.
+  size_t pos() const { return pos_; }
+
  private:
   const std::string& text_;
   Alphabet* alphabet_;

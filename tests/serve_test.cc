@@ -1,0 +1,308 @@
+// Tests for the parallel serving layer (src/serve): frozen snapshots of a
+// pre-explored shared bank must answer exactly like the live bank, the
+// mutex-guarded overflow path must make correctness independent of
+// training coverage, and sharded evaluation at any thread count must
+// produce results identical to the single-stream engine — acceptance,
+// first-match positions, and per-document position counts — over
+// well-formed AND malformed documents.
+#include "serve/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "opt/pipeline.h"
+#include "query/engine.h"
+#include "query/nwquery.h"
+#include "serve/frozen_bank.h"
+#include "support/rng.h"
+#include "xml/xml.h"
+
+namespace nw {
+namespace {
+
+// A bank mixing every atom kind plus `not`-heavy members (the ones whose
+// product states churn the most under streaming). Too rich a product to
+// close exhaustively — exactly the case the corpus-trained freeze plus
+// overflow fallback exists for.
+std::vector<std::string> RichQueryTexts() {
+  return {
+      "/a",
+      "//b",
+      "/a/b or /a/c or //d",
+      "a then c",
+      "depth >= 3",
+      "not //e",
+      "not (/a and not //b)",
+      "//a/*/b",
+  };
+}
+
+// A small bank whose full product closes in milliseconds — the regime
+// where exhaustive ExploreAll guarantees a miss-free snapshot.
+std::vector<std::string> SmallQueryTexts() {
+  return {"/a", "//b", "a then c", "depth >= 3"};
+}
+
+struct Workload {
+  Alphabet alphabet;
+  std::vector<Query> queries;
+  Symbol other = Alphabet::kNoSymbol;
+  size_t num_symbols = 0;
+  OptimizedBank bank;  ///< rewrite+min automata plus the shared product
+
+  explicit Workload(const std::vector<std::string>& texts) {
+    for (const std::string& text : texts) {
+      queries.push_back(ParseQuery(text, &alphabet).Take());
+    }
+    alphabet.Intern("#text");
+    other = alphabet.Intern("%other");
+    num_symbols = alphabet.size();
+    bank = OptimizeBank(queries, num_symbols, OptOptions::All());
+  }
+};
+
+/// Randomly corrupts a well-formed document: drops close tags and injects
+/// stray ones, producing pending calls and pending returns.
+std::string Corrupt(Rng* rng, const std::string& doc) {
+  std::string out;
+  size_t i = 0;
+  while (i < doc.size()) {
+    if (doc[i] == '<' && i + 1 < doc.size() && doc[i + 1] == '/' &&
+        rng->Chance(1, 5)) {
+      while (i < doc.size() && doc[i] != '>') ++i;
+      if (i < doc.size()) ++i;
+      continue;
+    }
+    if (doc[i] == '<' && rng->Chance(1, 12)) out += "</stray>";
+    out += doc[i++];
+  }
+  return out;
+}
+
+/// `n` random documents of varying size and depth; every third one is
+/// corrupted (malformed-document shards are part of the contract).
+std::vector<std::string> MakeCorpus(size_t n, uint64_t seed) {
+  Alphabet gen;
+  for (const char* name : {"a", "b", "c", "d", "e", "unlisted"}) {
+    gen.Intern(name);
+  }
+  Rng rng(seed);
+  std::vector<std::string> corpus;
+  for (size_t i = 0; i < n; ++i) {
+    std::string doc =
+        RandomXmlDocument(&rng, gen, 150 + (i % 5) * 120, 3 + i % 9);
+    if (i % 3 == 2) doc = Corrupt(&rng, doc);
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+/// Single-stream reference: the SoA engine (independent of the shared
+/// bank, so freezing/exploring the product cannot contaminate it).
+std::vector<DocResult> ReferenceResults(const Workload& w,
+                                        const std::vector<std::string>& docs) {
+  QueryEngine engine(w.num_symbols);
+  engine.set_other_symbol(w.other);
+  engine.set_track_matches(true);
+  for (const OptimizedQuery& q : w.bank.queries) engine.Add(&q.nwa);
+  Alphabet local = w.alphabet;
+  std::vector<DocResult> out(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    size_t before = engine.positions();
+    out[i].accept = engine.RunAll(docs[i], &local);
+    out[i].positions = engine.positions() - before;
+    out[i].first_match.resize(engine.num_queries());
+    for (size_t q = 0; q < engine.num_queries(); ++q) {
+      out[i].first_match[q] = engine.first_match(q);
+    }
+  }
+  return out;
+}
+
+void ExpectSameResults(const std::vector<DocResult>& want,
+                       const std::vector<DocResult>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].accept, got[i].accept) << "doc " << i;
+    EXPECT_EQ(want[i].first_match, got[i].first_match) << "doc " << i;
+    EXPECT_EQ(want[i].positions, got[i].positions) << "doc " << i;
+  }
+}
+
+TEST(FrozenBank, SnapshotAnswersLikeTheLiveBank) {
+  Workload w(SmallQueryTexts());
+  SharedBank* shared = w.bank.shared.get();
+  ASSERT_TRUE(shared->ExploreAll(1u << 20));
+  FrozenBank frozen = FrozenBank::Freeze(*shared);
+  ASSERT_EQ(frozen.num_states(), shared->num_states());
+  EXPECT_EQ(frozen.initial(), shared->initial());
+  for (StateId q = 0; q < frozen.num_states(); ++q) {
+    EXPECT_EQ(frozen.live(q), shared->live(q));
+    for (size_t id = 0; id < frozen.num_queries(); ++id) {
+      EXPECT_EQ(frozen.accepting(q, id), shared->accepting(q, id));
+      EXPECT_EQ(frozen.component(q, id), shared->component(q, id));
+    }
+    for (Symbol a = 0; a < frozen.num_symbols(); ++a) {
+      EXPECT_EQ(frozen.Internal(q, a), shared->PeekInternal(q, a));
+      EXPECT_EQ(frozen.CallLinear(q, a), shared->PeekCallLinear(q, a));
+      EXPECT_EQ(frozen.CallHier(q, a), shared->PeekCallHier(q, a));
+    }
+    EXPECT_EQ(frozen.FindTuple(frozen.tuple(q)), q);
+  }
+  for (const SharedBank::MemoReturn& r : shared->MemoizedReturns()) {
+    EXPECT_EQ(frozen.Return(r.from, r.hier, r.symbol), r.target);
+  }
+}
+
+TEST(FrozenBank, ExhaustiveExplorationNeverMisses) {
+  Workload w(SmallQueryTexts());
+  ASSERT_TRUE(w.bank.shared->ExploreAll(1u << 20));
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, 2);
+  std::vector<std::string> corpus = MakeCorpus(24, 99);
+  evaluator.EvaluateCorpus(corpus, w.alphabet, true);
+  EXPECT_EQ(evaluator.stats().frozen_misses, 0u);
+  EXPECT_EQ(evaluator.stats().hit_rate(), 1.0);
+  EXPECT_GT(evaluator.stats().frozen_hits, 0u);
+}
+
+TEST(FrozenBank, OverflowMapsBackIntoFrozenSpace) {
+  Workload w(SmallQueryTexts());
+  ASSERT_TRUE(w.bank.shared->ExploreAll(1u << 20));
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  // The snapshot is total, so every overflow step's target tuple exists
+  // in frozen space and must come back as an untagged frozen id equal to
+  // the snapshot's own answer.
+  OverflowBank overflow(&frozen);
+  StateId q = frozen.initial();
+  for (Symbol a = 0; a < frozen.num_symbols(); ++a) {
+    StateId via_overflow = overflow.StepInternal(q, a);
+    EXPECT_FALSE(OverflowBank::IsOverflowId(via_overflow));
+    EXPECT_EQ(via_overflow, frozen.Internal(q, a));
+    StateId h1, h2;
+    StateId lin = overflow.StepCall(q, a, &h1);
+    EXPECT_EQ(lin, frozen.CallLinear(q, a));
+    h2 = frozen.CallHier(q, a);
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(overflow.StepReturn(q, h2, a), frozen.Return(q, h2, a));
+  }
+  EXPECT_GT(overflow.steps(), 0u);
+}
+
+// The tentpole differential: sharded evaluation at N ∈ {1, 2, 8} threads
+// must equal the single-stream engine bit for bit.
+TEST(ShardedEvaluator, MatchesSingleStreamAtEveryThreadCount) {
+  Workload w(SmallQueryTexts());
+  std::vector<std::string> corpus = MakeCorpus(64, 7);
+  std::vector<DocResult> want = ReferenceResults(w, corpus);
+  ASSERT_TRUE(w.bank.shared->ExploreAll(1u << 20));
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, threads);
+    std::vector<DocResult> got =
+        evaluator.EvaluateCorpus(corpus, w.alphabet, true);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectSameResults(want, got);
+  }
+}
+
+// Freeze on a training corpus that misses most of what evaluation sees:
+// the overflow fallback must keep results identical while the stats
+// report real misses.
+TEST(ShardedEvaluator, OverflowFallbackKeepsResultsIdentical) {
+  Workload w(RichQueryTexts());
+  std::vector<std::string> corpus = MakeCorpus(48, 21);
+  std::vector<DocResult> want = ReferenceResults(w, corpus);
+  // Train on two tiny shallow documents only.
+  QueryEngine trainer(w.num_symbols);
+  trainer.set_other_symbol(w.other);
+  trainer.AddBank(w.bank.shared.get());
+  Alphabet train_alpha = w.alphabet;
+  for (const std::string& doc : {std::string("<a><b>x</b></a>"),
+                                 std::string("<c/>")}) {
+    trainer.RunAll(doc, &train_alpha);
+  }
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, threads);
+    std::vector<DocResult> got =
+        evaluator.EvaluateCorpus(corpus, w.alphabet, true);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectSameResults(want, got);
+    EXPECT_GT(evaluator.stats().frozen_misses, 0u);
+    EXPECT_LT(evaluator.stats().hit_rate(), 1.0);
+  }
+}
+
+// The extreme coverage gap: freeze a bank nothing was ever streamed
+// through — only the initial state is frozen, every step overflows.
+TEST(ShardedEvaluator, UntrainedFreezeStillCorrect) {
+  Workload w(RichQueryTexts());
+  std::vector<std::string> corpus = MakeCorpus(16, 5);
+  std::vector<DocResult> want = ReferenceResults(w, corpus);
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  ASSERT_EQ(frozen.num_states(), 1u);
+  ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, 4);
+  std::vector<DocResult> got =
+      evaluator.EvaluateCorpus(corpus, w.alphabet, true);
+  ExpectSameResults(want, got);
+  EXPECT_EQ(evaluator.stats().frozen_hits, 0u);
+}
+
+TEST(ShardedEvaluator, EmptyCorpus) {
+  Workload w(SmallQueryTexts());
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, 4);
+  std::vector<DocResult> got =
+      evaluator.EvaluateCorpus({}, w.alphabet, true);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(evaluator.stats().documents, 0u);
+  EXPECT_EQ(evaluator.stats().hit_rate(), 1.0);
+}
+
+TEST(SplitTopLevel, ChunksConcatenateToTheInput) {
+  const std::string doc =
+      "<!-- preamble --><a><b>x</b></a>stray text<c/><d><e/>"
+      "<!-- <f> inside comment --></d></weird><g><unclosed>";
+  std::vector<std::string> chunks = SplitTopLevel(doc);
+  std::string joined;
+  for (const std::string& c : chunks) joined += c;
+  EXPECT_EQ(joined, doc);
+  // <a>…</a> (with the preamble comment), <c/> (with the stray text),
+  // <d>…</d>, the stray </weird>, and the trailing unclosed spill.
+  ASSERT_EQ(chunks.size(), 5u);
+  EXPECT_EQ(chunks[0], "<!-- preamble --><a><b>x</b></a>");
+  EXPECT_EQ(chunks[1], "stray text<c/>");
+  EXPECT_EQ(chunks[2], "<d><e/><!-- <f> inside comment --></d>");
+  EXPECT_EQ(chunks[3], "</weird>");
+  EXPECT_EQ(chunks[4], "<g><unclosed>");
+}
+
+TEST(SplitTopLevel, RecordStreamShardsLikeACorpus) {
+  // One huge record-stream document splits into records; evaluating the
+  // records as a sharded corpus equals evaluating each alone.
+  std::string doc;
+  for (int i = 0; i < 12; ++i) {
+    doc += i % 2 == 0 ? "<a><b>x</b></a>" : "<c><d/></c>";
+  }
+  std::vector<std::string> records = SplitTopLevel(doc);
+  ASSERT_EQ(records.size(), 12u);
+  Workload w(SmallQueryTexts());
+  std::vector<DocResult> want = ReferenceResults(w, records);
+  ASSERT_TRUE(w.bank.shared->ExploreAll(1u << 20));
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, 8);
+  ExpectSameResults(want,
+                    evaluator.EvaluateCorpus(records, w.alphabet, true));
+}
+
+TEST(SplitTopLevel, UnstructuredInputIsOneChunk) {
+  EXPECT_EQ(SplitTopLevel("just text, no tags"),
+            std::vector<std::string>{"just text, no tags"});
+  EXPECT_EQ(SplitTopLevel(""), std::vector<std::string>{""});
+}
+
+}  // namespace
+}  // namespace nw
