@@ -12,9 +12,11 @@
 //     K = 16).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/bench_report.h"
 #include "opt/bank.h"
 #include "opt/minimize.h"
 #include "opt/pipeline.h"
@@ -43,7 +45,7 @@ const char* kNotHeavyFamily[] = {
 };
 
 /// States-before/after and per-stage compile time for each family member.
-void MinimizationTable() {
+void MinimizationTable(const BenchConfig& cfg, BenchReport* report) {
   Table t("E-OPT: rewrite + minimization on the not-heavy family");
   t.Header({"query", "compiled", "rewritten", "minimized", "all", "ratio",
             "compile_ms", "opt_ms"});
@@ -78,7 +80,12 @@ void MinimizationTable() {
                         static_cast<double>(total_after),
                     1),
          "-", "-"});
-  t.Print();
+  if (cfg.print()) t.Print();
+  report->Metric("minimization_ratio",
+                 static_cast<double>(total_before) /
+                     static_cast<double>(total_after));
+  // The state-count bar holds at any workload size (it is not a timing),
+  // so quick mode asserts it too.
   NW_CHECK(total_before >= 5 * total_after);  // the acceptance bar
 }
 
@@ -146,13 +153,16 @@ size_t RunEngine(const BankWorkload& w, QueryEngine* engine) {
 }
 
 /// Headline: one product step per position vs K SoA steps per position.
-void BankThroughputTable() {
+void BankThroughputTable(const BenchConfig& cfg, BenchReport* report) {
   Table t("E-OPT: shared-bank product vs per-query SoA stepping "
           "(rewrite+min automata, one warmed pass each)");
   t.Header({"K", "positions", "soa_ms", "bank_ms", "speedup",
             "product_states", "soa_resident", "bank_resident"});
-  for (size_t k : {1u, 16u, 64u}) {
-    BankWorkload w(k, 1u << 15);
+  const size_t positions = cfg.quick ? 1u << 12 : 1u << 15;
+  std::vector<size_t> ks{1, 16, 64};
+  if (cfg.quick) ks = {1, 16};
+  for (size_t k : ks) {
+    BankWorkload w(k, positions);
     QueryEngine soa(w.alphabet.size());
     soa.set_other_symbol(w.other);
     for (const OptimizedQuery& q : w.optimized.queries) soa.Add(&q.nwa);
@@ -170,7 +180,7 @@ void BankThroughputTable() {
     size_t m1 = RunEngine(w, &soa);
     size_t m2 = RunEngine(w, &bank);
     NW_CHECK(m1 == m2);
-    constexpr int kReps = 8;
+    const int kReps = cfg.quick ? 2 : 8;
     Stopwatch sw;
     for (int i = 0; i < kReps; ++i) {
       benchmark::DoNotOptimize(RunEngine(w, &soa));
@@ -182,12 +192,15 @@ void BankThroughputTable() {
       benchmark::DoNotOptimize(RunEngine(w, &bank));
     }
     double bank_ms = sw.ElapsedMs() / kReps;
-    t.Row({Table::Num(k), Table::Num(1u << 15), Table::Dbl(soa_ms, 2),
+    t.Row({Table::Num(k), Table::Num(positions), Table::Dbl(soa_ms, 2),
            Table::Dbl(bank_ms, 2), Table::Dbl(soa_ms / bank_ms, 2),
            Table::Num(product.num_states()), Table::Num(soa_resident),
            Table::Num(bank.ResidentStates())});
+    report->Metric("bank_speedup@k" + std::to_string(k), soa_ms / bank_ms);
+    report->Metric("product_states@k" + std::to_string(k),
+                   static_cast<double>(product.num_states()));
   }
-  t.Print();
+  if (cfg.print()) t.Print();
 }
 
 void BM_SoAEngine(benchmark::State& state) {
@@ -221,8 +234,14 @@ BENCHMARK(BM_BankEngine)->Arg(1)->Arg(16)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
-  MinimizationTable();
-  BankThroughputTable();
+  BenchConfig cfg = ParseBenchConfig(&argc, argv);
+  BenchReport report("bench_query_optimizer");
+  MinimizationTable(cfg, &report);
+  BankThroughputTable(cfg, &report);
+  if (cfg.report_json) {
+    std::printf("%s\n", report.ToJson(cfg.quick).c_str());
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,10 +12,12 @@
 // what serving looks like before any training.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/bench_report.h"
 #include "opt/bank.h"
 #include "opt/pipeline.h"
 #include "query/engine.h"
@@ -94,9 +96,9 @@ struct ServeWorkload {
 
 /// One timed sharded pass; returns positions/ms and fills the stats.
 double TimedPass(ServeWorkload* w, const FrozenBank* frozen, size_t threads,
-                 ServeStats* stats_out) {
+                 ServeStats* stats_out, bool quick) {
   ShardedEvaluator evaluator(frozen, w->alphabet.size(), w->other, threads);
-  constexpr int kReps = 4;
+  const int kReps = quick ? 1 : 4;
   // One untimed rep first: workers and overflow banks are constructed
   // fresh inside every EvaluateCorpus call, so this warms only the
   // allocator and CPU caches — the timed reps pay the same per-call
@@ -113,8 +115,10 @@ double TimedPass(ServeWorkload* w, const FrozenBank* frozen, size_t threads,
 }
 
 /// Headline table: aggregate corpus throughput vs thread count.
-void ScalingTable() {
-  const size_t kQueries = 16, kDocs = 64, kPositions = 1u << 12;
+void ScalingTable(const BenchConfig& cfg, BenchReport* report) {
+  const size_t kQueries = 16;
+  const size_t kDocs = cfg.quick ? 16 : 64;
+  const size_t kPositions = cfg.quick ? 1u << 10 : 1u << 12;
   ServeWorkload w(kQueries, kDocs, kPositions);
   w.Train();
   FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
@@ -128,7 +132,7 @@ void ScalingTable() {
   double speedup_at_8 = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     ServeStats stats;
-    double pos_per_ms = TimedPass(&w, &frozen, threads, &stats);
+    double pos_per_ms = TimedPass(&w, &frozen, threads, &stats, cfg.quick);
     if (threads == 1) base_pos_per_ms = pos_per_ms;
     double speedup = pos_per_ms / base_pos_per_ms;
     if (threads == 8) speedup_at_8 = speedup;
@@ -137,43 +141,51 @@ void ScalingTable() {
            Table::Dbl(pos_per_ms, 1), Table::Dbl(speedup, 2),
            Table::Dbl(stats.hit_rate(), 4),
            Table::Num(frozen.num_states())});
+    report->Metric("speedup@t" + std::to_string(threads), speedup);
+    report->Metric("hit_rate@t" + std::to_string(threads), stats.hit_rate());
   }
-  t.Print();
+  if (cfg.print()) t.Print();
   // The acceptance bar is a statement about parallel hardware; on a
-  // smaller host the table above is still the honest report.
-  if (std::thread::hardware_concurrency() >= 8) {
+  // smaller host (or a quick run, whose workload is below the scaling
+  // regime) the table above is still the honest report.
+  if (!cfg.quick && std::thread::hardware_concurrency() >= 8) {
     NW_CHECK(speedup_at_8 >= 3.0);
-  } else {
-    std::printf("(speedup bar not asserted: host has %u hardware threads)\n",
-                std::thread::hardware_concurrency());
+  } else if (cfg.print()) {
+    std::printf("(speedup bar not asserted: quick=%d, host has %u hardware "
+                "threads)\n",
+                cfg.quick ? 1 : 0, std::thread::hardware_concurrency());
   }
 }
 
 /// Cold vs trained: what the overflow path costs before training.
-void ColdVsTrainedTable() {
+void ColdVsTrainedTable(const BenchConfig& cfg, BenchReport* report) {
   Table t("E-SERVE: frozen-bank coverage — cold (untrained) snapshot vs "
           "corpus-trained snapshot, 8 threads");
   t.Header({"snapshot", "kpos_per_s", "hit_rate", "overflow_steps"});
+  const size_t kDocs = cfg.quick ? 16 : 64;
+  const size_t kPositions = cfg.quick ? 1u << 10 : 1u << 12;
   {
-    ServeWorkload cold(16, 64, 1u << 12);
+    ServeWorkload cold(16, kDocs, kPositions);
     FrozenBank frozen = FrozenBank::Freeze(*cold.bank.shared);
     ServeStats stats;
-    double pos_per_ms = TimedPass(&cold, &frozen, 8, &stats);
+    double pos_per_ms = TimedPass(&cold, &frozen, 8, &stats, cfg.quick);
     t.Row({"cold", Table::Dbl(pos_per_ms, 1),
            Table::Dbl(stats.hit_rate(), 4),
            Table::Num(stats.frozen_misses)});
+    report->Metric("cold_hit_rate", stats.hit_rate());
   }
   {
-    ServeWorkload trained(16, 64, 1u << 12);
+    ServeWorkload trained(16, kDocs, kPositions);
     trained.Train();
     FrozenBank frozen = FrozenBank::Freeze(*trained.bank.shared);
     ServeStats stats;
-    double pos_per_ms = TimedPass(&trained, &frozen, 8, &stats);
+    double pos_per_ms = TimedPass(&trained, &frozen, 8, &stats, cfg.quick);
     t.Row({"trained", Table::Dbl(pos_per_ms, 1),
            Table::Dbl(stats.hit_rate(), 4),
            Table::Num(stats.frozen_misses)});
+    report->Metric("trained_hit_rate", stats.hit_rate());
   }
-  t.Print();
+  if (cfg.print()) t.Print();
 }
 
 void BM_ShardedCorpus(benchmark::State& state) {
@@ -197,8 +209,14 @@ BENCHMARK(BM_ShardedCorpus)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 
 int main(int argc, char** argv) {
-  ScalingTable();
-  ColdVsTrainedTable();
+  BenchConfig cfg = ParseBenchConfig(&argc, argv);
+  BenchReport report("bench_sharded_eval");
+  ScalingTable(cfg, &report);
+  ColdVsTrainedTable(cfg, &report);
+  if (cfg.report_json) {
+    std::printf("%s\n", report.ToJson(cfg.quick).c_str());
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,57 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "obs/stats.h"
+
+namespace nw {
+
+BenchConfig ParseBenchConfig(int* argc, char** argv) {
+  BenchConfig cfg;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--report=json") == 0) {
+      cfg.report_json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.quick = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return cfg;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchReport::Metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+std::string BenchReport::ToJson(bool quick) const {
+  std::string out;
+  out.push_back('{');
+  AppendJsonString(&out, "bench");
+  out.push_back(':');
+  AppendJsonString(&out, name_);
+  out += quick ? ",\"quick\":true," : ",\"quick\":false,";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"host\":{\"hardware_threads\":%u},",
+                std::thread::hardware_concurrency());
+  out += buf;
+  AppendJsonString(&out, "metrics");
+  out += ":{";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, metrics_[i].first);
+    std::snprintf(buf, sizeof(buf), ":%.4f", metrics_[i].second);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace nw

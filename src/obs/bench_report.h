@@ -1,0 +1,54 @@
+// Machine-readable bench reporting: every bench harness that feeds the
+// repo's perf trajectory (bench_query_engine, bench_query_optimizer,
+// bench_sharded_eval) accepts `--report=json [--quick]` and emits one
+// JSON object instead of its human tables, so CI can archive the numbers
+// and BENCH_trajectory.json can track the curve across re-anchors.
+//
+//   {"bench":"bench_query_engine","quick":false,
+//    "host":{"hardware_threads":16},
+//    "metrics":{"batched_speedup@65536":6.5,...}}
+//
+// Metrics keep insertion order, so reports diff cleanly run to run.
+#ifndef NW_OBS_BENCH_REPORT_H_
+#define NW_OBS_BENCH_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nw {
+
+/// Flags shared by the bench mains. `--report=json` switches the harness
+/// from human tables to one JSON object on stdout (and skips the
+/// google-benchmark pass — the tables' measurements are the report);
+/// `--quick` shrinks workloads for CI smoke runs and disables the
+/// acceptance-bar asserts (quick sizes are below the bars' regimes).
+struct BenchConfig {
+  bool report_json = false;
+  bool quick = false;
+  /// Print the human tables? (false exactly in report mode.)
+  bool print() const { return !report_json; }
+};
+
+/// Strips the flags above out of argv (so benchmark::Initialize never
+/// sees them) and returns the parsed config.
+BenchConfig ParseBenchConfig(int* argc, char** argv);
+
+/// Accumulates named numeric results and renders the report object.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Records one metric; doubles are rendered with 4 decimals.
+  void Metric(const std::string& key, double value);
+
+  std::string ToJson(bool quick) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace nw
+
+#endif  // NW_OBS_BENCH_REPORT_H_

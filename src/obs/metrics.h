@@ -1,0 +1,156 @@
+// NWStats metric primitives: the monotonic counters, gauges, and
+// log-linear-bucket latency histograms every layer of the stack reports
+// through (obs/stats.h holds the per-layer sink struct and the registry
+// that renders them).
+//
+// Threading model — SINGLE WRITER, any readers. Each metric instance is
+// owned by exactly one writer thread (the serving layer keeps one
+// StatsSink per shard precisely so this holds); increments are relaxed
+// atomic load+store pairs, which compile to the same plain add a bare
+// uint64_t would cost — no lock prefix, no fence — while staying
+// TSan-clean under a concurrent reader (a daemon scraping stats while
+// the shard serves). Cross-shard totals are computed by the READER at
+// render time via the Merge methods; after a thread join they are exact,
+// during a run they are a consistent-enough snapshot. Two writers on one
+// instance would lose increments — that is a deployment bug, not a data
+// race, and the per-shard sink design exists to rule it out.
+#ifndef NW_OBS_METRICS_H_
+#define NW_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace nw {
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  /// Single-writer increment (plain add; relaxed, never a RMW).
+  void Inc(uint64_t n = 1) {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+  }
+  void Add(uint64_t n) { Inc(n); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Reader-side aggregation: this += other.
+  void MergeFrom(const Counter& other) { Inc(other.value()); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-value / high-water-mark gauge. Cross-shard aggregation takes the
+/// max (the natural meaning for the depth and size high-water marks this
+/// library gauges; a sum would double-count).
+class Gauge {
+ public:
+  void Set(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if above the current value (single writer,
+  /// so load-compare-store cannot lose a concurrent raise).
+  void SetMax(uint64_t v) {
+    if (v > value()) Set(v);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void MergeMaxFrom(const Gauge& other) { SetMax(other.value()); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Log-linear-bucket histogram over uint64 samples (latencies in
+/// microseconds, sizes in bytes): each power-of-two octave is split into
+/// kSub linear sub-buckets, so any recorded value lands in a bucket whose
+/// lower bound is within 1/kSub (6.25%) of it — HDR-style fixed relative
+/// error with a fixed 7.6 KiB footprint and O(1) Record. Percentile
+/// extraction returns the lower bound of the bucket holding the requested
+/// rank, so p50/p90/p99 carry the same relative-error bound (the oracle
+/// tests in tests/obs_test.cc pin this against a sorted vector).
+class Histogram {
+ public:
+  /// Linear sub-buckets per octave = 2^kSubBits.
+  static constexpr uint32_t kSubBits = 4;
+  static constexpr uint32_t kSub = 1u << kSubBits;
+  /// Values < kSub get exact unit buckets; above, one block of kSub
+  /// sub-buckets per octave up to 2^63.
+  static constexpr uint32_t kBuckets = (64 - kSubBits + 1) * kSub;
+
+  /// Bucket of value `v`: identity below kSub, then
+  /// (octave, top-kSubBits-after-the-leading-1) above. Monotone in v.
+  static uint32_t BucketIndex(uint64_t v) {
+    if (v < kSub) return static_cast<uint32_t>(v);
+    uint32_t exp = 63 - static_cast<uint32_t>(__builtin_clzll(v));
+    uint32_t sub =
+        static_cast<uint32_t>((v >> (exp - kSubBits)) & (kSub - 1));
+    return (exp - kSubBits + 1) * kSub + sub;
+  }
+
+  /// Smallest value mapping to bucket `i` (inverse of BucketIndex on
+  /// bucket lower bounds; the value Percentile reports).
+  static uint64_t BucketLowerBound(uint32_t i) {
+    if (i < kSub) return i;
+    uint32_t block = i / kSub;
+    uint32_t sub = i % kSub;
+    return static_cast<uint64_t>(kSub + sub) << (block - 1);
+  }
+
+  void Record(uint64_t v) {
+    IncSlot(&buckets_[BucketIndex(v)], 1);
+    IncSlot(&count_, 1);
+    IncSlot(&sum_, v);
+    if (v > max()) max_.store(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Quantile `q` in [0, 1]: the lower bound of the bucket holding the
+  /// ceil(q * count)-th smallest sample (rank clamped to [1, count]);
+  /// 0 when the histogram is empty.
+  uint64_t Percentile(double q) const {
+    uint64_t n = count();
+    if (n == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+    if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;
+    if (rank == 0) rank = 1;
+    if (rank > n) rank = n;
+    uint64_t seen = 0;
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i].load(std::memory_order_relaxed);
+      if (seen >= rank) return BucketLowerBound(i);
+    }
+    return max();  // unreachable unless a racing reader saw a torn count
+  }
+
+  /// Reader-side aggregation: bucket-wise this += other.
+  void MergeFrom(const Histogram& other) {
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      IncSlot(&buckets_[i], other.buckets_[i].load(std::memory_order_relaxed));
+    }
+    IncSlot(&count_, other.count());
+    IncSlot(&sum_, other.sum());
+    if (other.max() > max()) max_.store(other.max(), std::memory_order_relaxed);
+  }
+
+ private:
+  /// Single-writer add on one slot (same codegen as a plain uint64 add).
+  static void IncSlot(std::atomic<uint64_t>* slot, uint64_t n) {
+    slot->store(slot->load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace nw
+
+#endif  // NW_OBS_METRICS_H_

@@ -1,0 +1,343 @@
+#include "obs/stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace nw {
+
+void StatsSink::MergeFrom(const StatsSink& other) {
+  stream_bytes.MergeFrom(other.stream_bytes);
+  stream_tokens.MergeFrom(other.stream_tokens);
+  stream_calls.MergeFrom(other.stream_calls);
+  stream_returns.MergeFrom(other.stream_returns);
+  stream_internals.MergeFrom(other.stream_internals);
+  stream_depth_hwm.MergeMaxFrom(other.stream_depth_hwm);
+  engine_docs.MergeFrom(other.engine_docs);
+  engine_positions.MergeFrom(other.engine_positions);
+  engine_docs_soa.MergeFrom(other.engine_docs_soa);
+  engine_docs_bank.MergeFrom(other.engine_docs_bank);
+  engine_docs_frozen.MergeFrom(other.engine_docs_frozen);
+  doc_latency_us.MergeFrom(other.doc_latency_us);
+  bank_states.MergeFrom(other.bank_states);
+  bank_memo_hits.MergeFrom(other.bank_memo_hits);
+  bank_memo_misses.MergeFrom(other.bank_memo_misses);
+  frozen_hits.MergeFrom(other.frozen_hits);
+  frozen_misses.MergeFrom(other.frozen_misses);
+  overflow_steps.MergeFrom(other.overflow_steps);
+  overflow_escalations.MergeFrom(other.overflow_escalations);
+  overflow_mapbacks.MergeFrom(other.overflow_mapbacks);
+  shard_docs.MergeFrom(other.shard_docs);
+  shard_bytes.MergeFrom(other.shard_bytes);
+  shard_positions.MergeFrom(other.shard_positions);
+  shard_busy_us.MergeFrom(other.shard_busy_us);
+  shard_wait_us.MergeFrom(other.shard_wait_us);
+  split_chunks.MergeFrom(other.split_chunks);
+  split_max_chunk_bytes.MergeMaxFrom(other.split_max_chunk_bytes);
+  split_chunk_bytes.MergeFrom(other.split_chunk_bytes);
+}
+
+void StatsRegistry::Register(std::string label, const StatsSink* sink) {
+  sinks_.emplace_back(std::move(label), sink);
+}
+
+void StatsRegistry::SetMeta(const std::string& key, std::string value) {
+  for (Meta& m : meta_) {
+    if (m.key == key) {
+      m.str = std::move(value);
+      m.is_num = false;
+      return;
+    }
+  }
+  meta_.push_back({key, std::move(value), 0, false});
+}
+
+void StatsRegistry::SetMetaNum(const std::string& key, uint64_t value) {
+  for (Meta& m : meta_) {
+    if (m.key == key) {
+      m.num = value;
+      m.is_num = true;
+      return;
+    }
+  }
+  meta_.push_back({key, {}, value, true});
+}
+
+void StatsRegistry::Aggregate(StatsSink* out) const {
+  for (const auto& [label, sink] : sinks_) out->MergeFrom(*sink);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void AppendNum(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendDbl(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  *out += buf;
+}
+
+/// `"key":value` with a leading comma when not first in its object.
+void Field(std::string* out, bool* first, const char* key, uint64_t v) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  AppendJsonString(out, key);
+  out->push_back(':');
+  AppendNum(out, v);
+}
+
+void FieldDbl(std::string* out, bool* first, const char* key, double v) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  AppendJsonString(out, key);
+  out->push_back(':');
+  AppendDbl(out, v);
+}
+
+void AppendHistogram(std::string* out, const Histogram& h) {
+  bool first = true;
+  out->push_back('{');
+  Field(out, &first, "count", h.count());
+  Field(out, &first, "sum", h.sum());
+  Field(out, &first, "max", h.max());
+  FieldDbl(out, &first, "mean", h.mean());
+  Field(out, &first, "p50", h.Percentile(0.50));
+  Field(out, &first, "p90", h.Percentile(0.90));
+  Field(out, &first, "p99", h.Percentile(0.99));
+  out->push_back('}');
+}
+
+double Ratio(uint64_t num, uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Fraction of frozen-path steps served lock-free; 1.0 with no traffic
+/// (matches ServeStats::hit_rate so the two surfaces never disagree).
+double HitRate(const StatsSink& s) {
+  uint64_t total = s.frozen_hits.value() + s.frozen_misses.value();
+  return total == 0 ? 1.0 : Ratio(s.frozen_hits.value(), total);
+}
+
+/// busy / (busy + wait): the shard utilization the skew view reports.
+double Utilization(const StatsSink& s) {
+  uint64_t total = s.shard_busy_us.value() + s.shard_wait_us.value();
+  return total == 0 ? 0.0 : Ratio(s.shard_busy_us.value(), total);
+}
+
+}  // namespace
+
+std::string StatsRegistry::RenderJson() const {
+  StatsSink agg;
+  Aggregate(&agg);
+  std::string out;
+  out.push_back('{');
+  // meta
+  AppendJsonString(&out, "meta");
+  out += ":{";
+  bool first = true;
+  for (const Meta& m : meta_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, m.key);
+    out.push_back(':');
+    if (m.is_num) {
+      AppendNum(&out, m.num);
+    } else {
+      AppendJsonString(&out, m.str);
+    }
+  }
+  out += "},";
+  // stream
+  AppendJsonString(&out, "stream");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "bytes", agg.stream_bytes.value());
+  Field(&out, &first, "tokens", agg.stream_tokens.value());
+  Field(&out, &first, "calls", agg.stream_calls.value());
+  Field(&out, &first, "returns", agg.stream_returns.value());
+  Field(&out, &first, "internals", agg.stream_internals.value());
+  Field(&out, &first, "depth_hwm", agg.stream_depth_hwm.value());
+  out += "},";
+  // engine
+  AppendJsonString(&out, "engine");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "documents", agg.engine_docs.value());
+  Field(&out, &first, "positions", agg.engine_positions.value());
+  Field(&out, &first, "docs_soa", agg.engine_docs_soa.value());
+  Field(&out, &first, "docs_bank", agg.engine_docs_bank.value());
+  Field(&out, &first, "docs_frozen", agg.engine_docs_frozen.value());
+  if (!first) out.push_back(',');
+  AppendJsonString(&out, "doc_latency_us");
+  out.push_back(':');
+  AppendHistogram(&out, agg.doc_latency_us);
+  out += "},";
+  // bank
+  AppendJsonString(&out, "bank");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "states_interned", agg.bank_states.value());
+  Field(&out, &first, "memo_hits", agg.bank_memo_hits.value());
+  Field(&out, &first, "memo_misses", agg.bank_memo_misses.value());
+  out += "},";
+  // frozen
+  AppendJsonString(&out, "frozen");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "hits", agg.frozen_hits.value());
+  Field(&out, &first, "misses", agg.frozen_misses.value());
+  FieldDbl(&out, &first, "hit_rate", HitRate(agg));
+  Field(&out, &first, "overflow_steps", agg.overflow_steps.value());
+  Field(&out, &first, "overflow_escalations",
+        agg.overflow_escalations.value());
+  Field(&out, &first, "overflow_mapbacks", agg.overflow_mapbacks.value());
+  out += "},";
+  // serve
+  AppendJsonString(&out, "serve");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "split_chunks", agg.split_chunks.value());
+  Field(&out, &first, "split_max_chunk_bytes",
+        agg.split_max_chunk_bytes.value());
+  if (!first) out.push_back(',');
+  AppendJsonString(&out, "split_chunk_bytes");
+  out.push_back(':');
+  AppendHistogram(&out, agg.split_chunk_bytes);
+  out += ",";
+  AppendJsonString(&out, "shards");
+  out += ":[";
+  for (size_t i = 0; i < sinks_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const auto& [label, sink] = sinks_[i];
+    out.push_back('{');
+    AppendJsonString(&out, "label");
+    out.push_back(':');
+    AppendJsonString(&out, label);
+    bool f = false;  // label was the first field
+    Field(&out, &f, "docs", sink->shard_docs.value());
+    Field(&out, &f, "bytes", sink->shard_bytes.value());
+    Field(&out, &f, "positions", sink->shard_positions.value());
+    Field(&out, &f, "busy_us", sink->shard_busy_us.value());
+    Field(&out, &f, "wait_us", sink->shard_wait_us.value());
+    FieldDbl(&out, &f, "utilization", Utilization(*sink));
+    Field(&out, &f, "frozen_hits", sink->frozen_hits.value());
+    Field(&out, &f, "frozen_misses", sink->frozen_misses.value());
+    Field(&out, &f, "depth_hwm", sink->stream_depth_hwm.value());
+    out.push_back('}');
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string StatsRegistry::RenderText() const {
+  StatsSink agg;
+  Aggregate(&agg);
+  std::string out;
+  char buf[512];
+  for (const Meta& m : meta_) {
+    if (m.is_num) {
+      std::snprintf(buf, sizeof(buf), "meta     %s=%" PRIu64 "\n",
+                    m.key.c_str(), m.num);
+    } else {
+      std::snprintf(buf, sizeof(buf), "meta     %s=%s\n", m.key.c_str(),
+                    m.str.c_str());
+    }
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "stream   bytes=%" PRIu64 " tokens=%" PRIu64 " calls=%" PRIu64
+                " returns=%" PRIu64 " internals=%" PRIu64
+                " depth_hwm=%" PRIu64 "\n",
+                agg.stream_bytes.value(), agg.stream_tokens.value(),
+                agg.stream_calls.value(), agg.stream_returns.value(),
+                agg.stream_internals.value(), agg.stream_depth_hwm.value());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "engine   documents=%" PRIu64 " positions=%" PRIu64
+                " docs_soa=%" PRIu64 " docs_bank=%" PRIu64
+                " docs_frozen=%" PRIu64 "\n",
+                agg.engine_docs.value(), agg.engine_positions.value(),
+                agg.engine_docs_soa.value(), agg.engine_docs_bank.value(),
+                agg.engine_docs_frozen.value());
+  out += buf;
+  const Histogram& h = agg.doc_latency_us;
+  std::snprintf(buf, sizeof(buf),
+                "latency  count=%" PRIu64 " mean_us=%.1f p50_us=%" PRIu64
+                " p90_us=%" PRIu64 " p99_us=%" PRIu64 " max_us=%" PRIu64 "\n",
+                h.count(), h.mean(), h.Percentile(0.50), h.Percentile(0.90),
+                h.Percentile(0.99), h.max());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "bank     states_interned=%" PRIu64 " memo_hits=%" PRIu64
+                " memo_misses=%" PRIu64 "\n",
+                agg.bank_states.value(), agg.bank_memo_hits.value(),
+                agg.bank_memo_misses.value());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "frozen   hits=%" PRIu64 " misses=%" PRIu64
+                " hit_rate=%.4f overflow_steps=%" PRIu64
+                " escalations=%" PRIu64 " mapbacks=%" PRIu64 "\n",
+                agg.frozen_hits.value(), agg.frozen_misses.value(),
+                HitRate(agg), agg.overflow_steps.value(),
+                agg.overflow_escalations.value(),
+                agg.overflow_mapbacks.value());
+  out += buf;
+  if (agg.split_chunks.value() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "split    chunks=%" PRIu64 " max_chunk_bytes=%" PRIu64
+                  " p50_bytes=%" PRIu64 " p99_bytes=%" PRIu64 "\n",
+                  agg.split_chunks.value(), agg.split_max_chunk_bytes.value(),
+                  agg.split_chunk_bytes.Percentile(0.50),
+                  agg.split_chunk_bytes.Percentile(0.99));
+    out += buf;
+  }
+  for (const auto& [label, sink] : sinks_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s docs=%" PRIu64 " bytes=%" PRIu64 " positions=%" PRIu64
+                  " busy_us=%" PRIu64 " wait_us=%" PRIu64
+                  " utilization=%.4f\n",
+                  label.c_str(), sink->shard_docs.value(),
+                  sink->shard_bytes.value(), sink->shard_positions.value(),
+                  sink->shard_busy_us.value(), sink->shard_wait_us.value(),
+                  Utilization(*sink));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace nw

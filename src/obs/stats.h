@@ -1,0 +1,122 @@
+// NWStats: the per-shard stats sink and the registry that renders it —
+// the observability substrate under the four-layer stack (nw/nwa → query
+// → opt → serve). Every instrumented layer takes an optional StatsSink*
+// and reports through it; nullptr (the default everywhere) disables the
+// instrumentation behind a branch on a pointer that is constant for the
+// whole stream, so the disabled path costs one predicted-not-taken branch
+// and the differential tests can pin byte-identical query output with
+// stats on and off.
+//
+// Deployment shape: ONE StatsSink per shard (or per single-stream
+// engine). All hot-path increments are single-writer plain adds
+// (obs/metrics.h); the StatsRegistry aggregates across sinks at render
+// time on the reader's thread. Rendering is stable: fixed key order in
+// both the human text and the JSON, so snapshots diff cleanly across
+// runs and the CI smoke test can validate required keys.
+#ifndef NW_OBS_STATS_H_
+#define NW_OBS_STATS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nw {
+
+/// Every metric one shard (or one single-stream engine) reports, across
+/// all four layers. Fields are grouped by the layer that writes them; a
+/// layer never touches another layer's group, so one sink can be handed
+/// to the tokenizer, the engine, the banks, and the shard loop at once.
+struct StatsSink {
+  // -- xml layer: XmlTokenStream (flushed once per stream, see xml.h). --
+  Counter stream_bytes;      ///< document bytes consumed by tokenization
+  Counter stream_tokens;     ///< tagged positions yielded
+  Counter stream_calls;      ///< open tags (call positions)
+  Counter stream_returns;    ///< close tags (return positions)
+  Counter stream_internals;  ///< text chunks (internal positions)
+  Gauge stream_depth_hwm;    ///< call/return depth high-water mark
+
+  // -- query layer: QueryEngine, per completed RunAll document. --
+  Counter engine_docs;         ///< documents streamed to completion
+  Counter engine_positions;    ///< positions stepped across all documents
+  Counter engine_docs_soa;     ///< documents taken on the per-query SoA path
+  Counter engine_docs_bank;    ///< documents taken on the shared-bank path
+  Counter engine_docs_frozen;  ///< documents taken on the frozen path
+  Histogram doc_latency_us;    ///< per-document end-to-end latency (µs)
+
+  // -- opt layer: SharedBank product exploration. --
+  Counter bank_states;       ///< product states interned (explored)
+  Counter bank_memo_hits;    ///< steps answered by the memo table
+  Counter bank_memo_misses;  ///< steps that ran the K component automata
+
+  // -- serve layer: frozen-path engines, OverflowBank, ShardedEvaluator.
+  Counter frozen_hits;    ///< steps answered lock-free by the snapshot
+  Counter frozen_misses;  ///< steps that took the overflow mutex
+  Counter overflow_steps;          ///< steps serviced by the overflow bank
+  Counter overflow_escalations;    ///< overflow steps stuck in overflow space
+  Counter overflow_mapbacks;       ///< overflow steps mapped back to frozen
+  Counter shard_docs;       ///< documents this shard pulled off the cursor
+  Counter shard_bytes;      ///< bytes of those documents (skew witness)
+  Counter shard_positions;  ///< positions this shard stepped
+  Counter shard_busy_us;    ///< time spent streaming documents (µs)
+  Counter shard_wait_us;    ///< worker wall time minus busy time (µs)
+  Counter split_chunks;           ///< chunks SplitTopLevel produced
+  Gauge split_max_chunk_bytes;    ///< largest chunk (a giant record = skew)
+  Histogram split_chunk_bytes;    ///< chunk size distribution
+
+  /// Reader-side aggregation: counters sum, gauges max, histograms merge.
+  void MergeFrom(const StatsSink& other);
+};
+
+/// Labelled collection of sinks plus free-form metadata, rendered as
+/// aligned human text or one stable JSON object. The registry does not
+/// own the sinks; they must outlive it (in practice: sinks live in the
+/// evaluator/CLI frame, the registry renders at exit).
+class StatsRegistry {
+ public:
+  /// Registers a sink under `label` (e.g. "main", "shard/3"). Render
+  /// order is registration order.
+  void Register(std::string label, const StatsSink* sink);
+
+  /// Metadata rendered under the "meta" key, in insertion order
+  /// (strings and numbers kept distinct so the JSON types are right).
+  void SetMeta(const std::string& key, std::string value);
+  void SetMetaNum(const std::string& key, uint64_t value);
+
+  size_t num_sinks() const { return sinks_.size(); }
+  const std::vector<std::pair<std::string, const StatsSink*>>& sinks() const {
+    return sinks_;
+  }
+
+  /// Sums every registered sink into `*out` (which the caller provides
+  /// zeroed; a default-constructed StatsSink is).
+  void Aggregate(StatsSink* out) const;
+
+  /// Human-readable multi-line dump: aggregate per layer, then one line
+  /// per sink for the shard-skew view.
+  std::string RenderText() const;
+
+  /// One JSON object with fixed key order:
+  ///   {"meta":{...},"stream":{...},"engine":{...},"bank":{...},
+  ///    "frozen":{...},"serve":{...,"shards":[...]}}
+  /// documented key-by-key in docs/OBSERVABILITY.md.
+  std::string RenderJson() const;
+
+ private:
+  struct Meta {
+    std::string key;
+    std::string str;
+    uint64_t num = 0;
+    bool is_num = false;
+  };
+  std::vector<std::pair<std::string, const StatsSink*>> sinks_;
+  std::vector<Meta> meta_;
+};
+
+/// Appends `s` to `*out` as a JSON string literal (quotes + escapes).
+void AppendJsonString(std::string* out, const std::string& s);
+
+}  // namespace nw
+
+#endif  // NW_OBS_STATS_H_

@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "obs/stats.h"
+
+namespace nw {
+
+Tracer::Tracer(const std::string& path)
+    : epoch_(std::chrono::steady_clock::now()) {
+  if (path == "-") {
+    file_ = stderr;
+  } else {
+    file_ = std::fopen(path.c_str(), "a");
+    owns_file_ = file_ != nullptr;
+  }
+}
+
+Tracer::~Tracer() {
+  if (owns_file_) std::fclose(file_);
+}
+
+std::unique_ptr<Tracer> Tracer::FromEnv(const char* var) {
+  const char* path = std::getenv(var);
+  if (path == nullptr || *path == '\0') return nullptr;
+  auto tracer = std::make_unique<Tracer>(path);
+  if (!tracer->ok()) {
+    std::fprintf(stderr, "trace: cannot open %s=%s; tracing disabled\n", var,
+                 path);
+    return nullptr;
+  }
+  return tracer;
+}
+
+uint64_t Tracer::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::WriteSpan(
+    const std::string& name, const std::string& label, uint64_t start_us,
+    uint64_t dur_us,
+    const std::vector<std::pair<std::string, uint64_t>>& fields) {
+  if (file_ == nullptr) return;
+  std::string line;
+  line.push_back('{');
+  AppendJsonString(&line, "name");
+  line.push_back(':');
+  AppendJsonString(&line, name);
+  line.push_back(',');
+  AppendJsonString(&line, "label");
+  line.push_back(':');
+  AppendJsonString(&line, label);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"start_us\":%" PRIu64
+                ",\"dur_us\":%" PRIu64, start_us, dur_us);
+  line += buf;
+  for (const auto& [key, value] : fields) {
+    line.push_back(',');
+    AppendJsonString(&line, key);
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, value);
+    line += buf;
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+}  // namespace nw

@@ -1,0 +1,94 @@
+// NWStats scoped-span tracer: opt-in per-document span recording as JSON
+// lines (one object per line, the `jq`-able "JSONL" shape). Off by
+// default everywhere; the nwquery CLI enables it when the NWQUERY_TRACE
+// environment variable names a writable file. A null Tracer* makes every
+// TraceSpan a no-op behind a branch on a constant pointer, so tracing
+// costs nothing unless asked for — the same discipline as the stats
+// sinks (obs/stats.h).
+//
+// Line format (stable field order; documented in docs/OBSERVABILITY.md):
+//   {"name":"doc","label":"corpus/a.xml","shard":0,"start_us":12,
+//    "dur_us":345,"positions":678,"matched":2}
+// `start_us` is relative to the tracer's construction, so spans from all
+// shards share one clock and a trace is self-contained.
+#ifndef NW_OBS_TRACE_H_
+#define NW_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nw {
+
+class Tracer {
+ public:
+  /// Opens `path` for append ("-" means stderr). ok() reports whether
+  /// the sink is usable; a failed open leaves a null-object tracer.
+  explicit Tracer(const std::string& path);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Builds a tracer from the environment (default NWQUERY_TRACE), or
+  /// null when the variable is unset/empty — the common case, letting
+  /// callers hold a plain `Tracer*` that is nullptr when disabled.
+  static std::unique_ptr<Tracer> FromEnv(const char* var = "NWQUERY_TRACE");
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Microseconds since tracer construction (the spans' shared clock).
+  uint64_t NowUs() const;
+
+  /// Writes one span line; thread-safe (one mutex-guarded fwrite so
+  /// lines from concurrent shards never interleave).
+  void WriteSpan(const std::string& name, const std::string& label,
+                 uint64_t start_us, uint64_t dur_us,
+                 const std::vector<std::pair<std::string, uint64_t>>& fields);
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records the start time at construction and writes the line
+/// at destruction. With a null tracer every method is a no-op.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string name, std::string label)
+      : tracer_(tracer), name_(std::move(name)), label_(std::move(label)) {
+    if (tracer_ != nullptr) start_us_ = tracer_->NowUs();
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->WriteSpan(name_, label_, start_us_,
+                         tracer_->NowUs() - start_us_, fields_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric field to the span line (e.g. positions, shard).
+  void Note(const std::string& key, uint64_t value) {
+    if (tracer_ != nullptr) fields_.emplace_back(key, value);
+  }
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::string label_;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, uint64_t>> fields_;
+};
+
+}  // namespace nw
+
+#endif  // NW_OBS_TRACE_H_

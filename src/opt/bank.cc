@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/stats.h"
 #include "support/check.h"
 
 namespace nw {
@@ -51,6 +52,7 @@ StateId SharedBank::Intern(const std::vector<StateId>& tuple) {
                "per-query SoA engine path for this bank",
                kMaxStates);
   StateId id = static_cast<StateId>(live_.size());
+  if (stats_ != nullptr) stats_->bank_states.Inc();
   bucket.push_back(id);
   tuples_.insert(tuples_.end(), tuple.begin(), tuple.end());
   accept_.resize(accept_.size() + words_, 0);
@@ -140,7 +142,11 @@ std::vector<SharedBank::MemoReturn> SharedBank::MemoizedReturns() const {
 StateId SharedBank::StepInternal(StateId q, Symbol a) {
   NW_DCHECK(q < num_states() && a < num_symbols_);
   StateId& memo = internal_[q * num_symbols_ + a];
-  if (memo != kNoState) return memo;
+  if (memo != kNoState) {
+    if (stats_ != nullptr) stats_->bank_memo_hits.Inc();
+    return memo;
+  }
+  if (stats_ != nullptr) stats_->bank_memo_misses.Inc();
   const size_t k = autos_.size();
   std::vector<StateId> next(k);
   for (size_t i = 0; i < k; ++i) {
@@ -155,9 +161,11 @@ StateId SharedBank::StepInternal(StateId q, Symbol a) {
 StateId SharedBank::StepCall(StateId q, Symbol a, StateId* hier_out) {
   NW_DCHECK(q < num_states() && a < num_symbols_);
   if (call_lin_[q * num_symbols_ + a] != kNoState) {
+    if (stats_ != nullptr) stats_->bank_memo_hits.Inc();
     *hier_out = call_hier_[q * num_symbols_ + a];
     return call_lin_[q * num_symbols_ + a];
   }
+  if (stats_ != nullptr) stats_->bank_memo_misses.Inc();
   const size_t k = autos_.size();
   std::vector<StateId> lin(k), hier(k);
   for (size_t i = 0; i < k; ++i) {
@@ -176,7 +184,11 @@ StateId SharedBank::StepReturn(StateId q, StateId hier, Symbol a) {
   NW_DCHECK(hier == kNoState || hier < num_states());
   uint64_t key = PackReturnKey(q, hier, a);
   auto it = returns_.find(key);
-  if (it != returns_.end()) return it->second;
+  if (it != returns_.end()) {
+    if (stats_ != nullptr) stats_->bank_memo_hits.Inc();
+    return it->second;
+  }
+  if (stats_ != nullptr) stats_->bank_memo_misses.Inc();
   const size_t k = autos_.size();
   std::vector<StateId> next(k);
   for (size_t i = 0; i < k; ++i) {

@@ -28,6 +28,10 @@
 
 namespace nw {
 
+// The NWStats sink (obs/stats.h) is held by pointer only, so the opt
+// layer's header stays free of observability includes.
+struct StatsSink;
+
 class SharedBank {
  public:
   /// All automata must share one symbol space and have initial states set.
@@ -42,6 +46,14 @@ class SharedBank {
   StateId initial() const { return initial_; }
   /// Product states materialized so far (grows as streams explore).
   size_t num_states() const { return live_.size(); }
+
+  /// Attaches an NWStats sink (obs/stats.h): the bank then counts interned
+  /// product states and memo hits/misses per step. `sink` must outlive the
+  /// bank and be single-writer — banks are already confined to one thread
+  /// (they memoize while streaming), so the engine's own sink is the
+  /// natural choice. Off (nullptr) by default: the disabled path is one
+  /// branch on a pointer constant for the stream.
+  void set_stats(StatsSink* sink) { stats_ = sink; }
 
   // -- Stepping. Mirrors the Nwa single-position step API, but states are
   // product-tuple ids and the methods memoize (hence non-const). A dead
@@ -159,6 +171,8 @@ class SharedBank {
   std::vector<StateId> call_lin_;   // [q*|Σ|+a]
   std::vector<StateId> call_hier_;  // [q*|Σ|+a]
   std::unordered_map<uint64_t, StateId> returns_;
+  /// NWStats sink, or nullptr when observability is off (see set_stats).
+  StatsSink* stats_ = nullptr;
 };
 
 /// Convenience spelling of the tentpole API: compiles the bank of

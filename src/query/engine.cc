@@ -3,8 +3,34 @@
 #include "opt/bank.h"
 #include "serve/frozen_bank.h"
 #include "support/check.h"
+#include "support/stopwatch.h"
 
 namespace nw {
+
+void QueryEngine::set_stats(StatsSink* sink) {
+  NW_CHECK_MSG(sink != nullptr, "set_stats() needs a sink; stats are off "
+               "by default — simply never attach one");
+  // Carry over counts accrued in the internal sink so the frozen hit/miss
+  // accessors never go backwards across a late attach.
+  if (stats_ == &own_stats_ && sink != &own_stats_) {
+    sink->MergeFrom(own_stats_);
+  }
+  stats_ = sink;
+  stats_enabled_ = true;
+}
+
+void QueryEngine::RecordDocStats(uint64_t latency_us, size_t doc_positions) {
+  stats_->engine_docs.Inc();
+  stats_->engine_positions.Add(doc_positions);
+  stats_->doc_latency_us.Record(latency_us);
+  if (frozen_ != nullptr) {
+    stats_->engine_docs_frozen.Inc();
+  } else if (bank_ != nullptr) {
+    stats_->engine_docs_bank.Inc();
+  } else {
+    stats_->engine_docs_soa.Inc();
+  }
+}
 
 size_t QueryEngine::num_queries() const {
   if (frozen_ != nullptr) return frozen_->num_queries();
@@ -211,9 +237,9 @@ size_t QueryEngine::FeedFrozen(Kind kind, Symbol s) {
       StateId next = from_frozen ? frozen_->Internal(bank_state_, s)
                                  : kNoState;
       if (next != kNoState) {
-        ++frozen_hits_;
+        stats_->frozen_hits.Inc();
       } else {
-        ++frozen_misses_;
+        stats_->frozen_misses.Inc();
         next = overflow_->StepInternal(bank_state_, s);
       }
       bank_state_ = next;
@@ -226,9 +252,9 @@ size_t QueryEngine::FeedFrozen(Kind kind, Symbol s) {
         h = frozen_->CallHier(bank_state_, s);
       }
       if (lin != kNoState) {
-        ++frozen_hits_;
+        stats_->frozen_hits.Inc();
       } else {
-        ++frozen_misses_;
+        stats_->frozen_misses.Inc();
         lin = overflow_->StepCall(bank_state_, s, &h);
       }
       stack_.push_back(h);
@@ -247,9 +273,9 @@ size_t QueryEngine::FeedFrozen(Kind kind, Symbol s) {
         next = frozen_->Return(bank_state_, h, s);
       }
       if (next != kNoState) {
-        ++frozen_hits_;
+        stats_->frozen_hits.Inc();
       } else {
-        ++frozen_misses_;
+        stats_->frozen_misses.Inc();
         next = overflow_->StepReturn(bank_state_, h, s);
       }
       bank_state_ = next;
@@ -299,20 +325,33 @@ void QueryEngine::LatchMatches() {
 }
 
 std::vector<bool> QueryEngine::RunAll(const NestedWord& n) {
+  Stopwatch sw;
+  const size_t before = positions_;
   BeginStream();
   for (const TaggedSymbol& t : n.tagged()) {
     if (Feed(t) == 0) break;  // every run dead: acceptance is settled
+  }
+  if (stats_enabled_) {
+    RecordDocStats(static_cast<uint64_t>(sw.ElapsedUs()),
+                   positions_ - before);
   }
   return Results();
 }
 
 std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
                                       Alphabet* alphabet) {
+  Stopwatch sw;
+  const size_t before = positions_;
   BeginStream();
   XmlTokenStream stream(xml_text, alphabet);
+  if (stats_enabled_) stream.set_stats(stats_);
   TaggedSymbol t;
   while (stream.Next(&t)) {
     if (Feed(t) == 0) break;  // every run dead: acceptance is settled
+  }
+  if (stats_enabled_) {
+    RecordDocStats(static_cast<uint64_t>(sw.ElapsedUs()),
+                   positions_ - before);
   }
   return Results();
 }

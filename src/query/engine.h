@@ -32,6 +32,7 @@
 
 #include "nw/nested_word.h"
 #include "nwa/nwa.h"
+#include "obs/stats.h"
 #include "xml/xml.h"
 
 namespace nw {
@@ -84,6 +85,17 @@ class QueryEngine {
   /// path), which throughput-sensitive callers should not pay unasked.
   void set_track_matches(bool on) { track_matches_ = on; }
 
+  /// Attaches an NWStats sink (obs/stats.h): every completed RunAll then
+  /// records the document's latency, positions, and execution path into
+  /// it, and the streaming RunAll threads the sink through to the
+  /// tokenizer. `sink` must outlive the engine and be this engine's
+  /// private instance (single-writer; the serving layer hands each shard
+  /// its own). Without a sink only the always-on frozen hit/miss
+  /// counters accrue (into an engine-internal sink), so the disabled
+  /// path is one branch on a flag that is constant for the stream —
+  /// query results are byte-identical either way.
+  void set_stats(StatsSink* sink);
+
   size_t num_queries() const;
   size_t num_symbols() const { return num_symbols_; }
 
@@ -116,10 +128,12 @@ class QueryEngine {
   std::vector<bool> RunAll(const std::string& xml_text, Alphabet* alphabet);
 
   /// Frozen-path steps answered by the immutable snapshot (lock-free).
-  size_t frozen_hits() const { return frozen_hits_; }
+  /// Lives in the attached stats sink (the engine-internal one when none
+  /// was attached), so the serving layer reads one source of truth.
+  size_t frozen_hits() const { return stats_->frozen_hits.value(); }
   /// Frozen-path steps that missed the snapshot and took the overflow
   /// bank's mutex. hits + misses = positions fed on the frozen path.
-  size_t frozen_misses() const { return frozen_misses_; }
+  size_t frozen_misses() const { return stats_->frozen_misses.value(); }
 
   /// Number of BeginStream() calls — the "K queries, one traversal"
   /// witness asserted by tests and reported by the benchmarks.
@@ -151,6 +165,9 @@ class QueryEngine {
   }
   /// Records first-accept positions for queries newly observed accepting.
   void LatchMatches();
+  /// NWStats per-document record shared by the RunAll overloads: latency
+  /// histogram, position/document counters, and the path-taken counter.
+  void RecordDocStats(uint64_t latency_us, size_t doc_positions);
   /// Word-parallel accept diffing shared by the bank and frozen paths.
   void LatchFromWords(const uint64_t* acc, size_t words);
   /// One stream position on the frozen path (split out of Feed).
@@ -185,8 +202,13 @@ class QueryEngine {
   std::vector<uint64_t> seen_accepts_;
   /// Frozen path: scratch for an overflow state's accept bitset copy.
   std::vector<uint64_t> scratch_accepts_;
-  size_t frozen_hits_ = 0;
-  size_t frozen_misses_ = 0;
+  /// NWStats: `stats_` points at the attached sink, or at `own_stats_`
+  /// (which keeps the frozen hit/miss accessors live) when none is.
+  /// `stats_enabled_` gates everything beyond those counters — document
+  /// latency clocks, path counters, tokenizer tallies.
+  StatsSink own_stats_;
+  StatsSink* stats_ = &own_stats_;
+  bool stats_enabled_ = false;
 };
 
 }  // namespace nw

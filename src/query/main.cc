@@ -28,15 +28,28 @@
 //   --stats         print compile-stage state counts and per-document
 //                   traversal / memory statistics (plus, when serving
 //                   frozen, the aggregate serve stats with the frozen-
-//                   bank hit rate)
+//                   bank hit rate), then the NWStats registry dump —
+//                   per-layer counters, the per-document latency
+//                   histogram, and the per-shard skew view
+//   --stats=json    same instrumentation, rendered as one stable JSON
+//                   object on the last stdout line (match lines are
+//                   unchanged; the per-document text stats are folded
+//                   into the JSON instead of printed)
 //   --quiet         suppress per-query match lines
+//
+// Setting the NWQUERY_TRACE environment variable to a file path ("-" for
+// stderr) additionally writes one JSON span line per document streamed
+// (see obs/trace.h and docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "opt/pipeline.h"
 #include "query/engine.h"
 #include "query/nwquery.h"
@@ -62,6 +75,7 @@ struct Options {
   size_t depth = 16;
   uint64_t seed = 42;
   bool stats = false;
+  bool stats_json = false;
   bool quiet = false;
 };
 
@@ -69,8 +83,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: nwquery [--opt none|rewrite|min|bank|all] "
                "[--threads N] [--freeze[=train.xml,...]] [--random N] "
-               "[--positions P] [--depth D] [--seed S] [--stats] [--quiet] "
-               "<query-file> [xml-file ...]\n");
+               "[--positions P] [--depth D] [--seed S] [--stats[=json]] "
+               "[--quiet] <query-file> [xml-file ...]\n");
   return 2;
 }
 
@@ -156,8 +170,11 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     } else if (arg == "--seed") {
       if (!value(&v)) return false;
       opt->seed = v;
-    } else if (arg == "--stats") {
+    } else if (arg == "--stats" || arg == "--stats=text") {
       opt->stats = true;
+    } else if (arg == "--stats=json") {
+      opt->stats = true;
+      opt->stats_json = true;
     } else if (arg == "--quiet") {
       opt->quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -235,12 +252,16 @@ void PrintMatchLines(const std::string& label, const std::vector<bool>& hits,
 void EvaluateDocument(const std::string& label, const std::string& text,
                       const std::vector<std::string>& query_texts,
                       Alphabet* alphabet, QueryEngine* engine,
-                      const Options& opt) {
+                      const Options& opt, Tracer* tracer) {
+  TraceSpan span(tracer, "doc", label);
   size_t positions_before = engine->positions();
   std::vector<bool> results = engine->RunAll(text, alphabet);
   size_t doc_positions = engine->positions() - positions_before;
   size_t matched = 0;
   for (bool hit : results) matched += hit;
+  span.Note("positions", doc_positions);
+  span.Note("bytes", text.size());
+  span.Note("matched", matched);
   if (!opt.quiet) {
     std::vector<int64_t> first_match(results.size());
     for (size_t i = 0; i < results.size(); ++i) {
@@ -248,7 +269,7 @@ void EvaluateDocument(const std::string& label, const std::string& text,
     }
     PrintMatchLines(label, results, first_match, query_texts);
   }
-  if (opt.stats) {
+  if (opt.stats && !opt.stats_json) {
     std::printf(
         "%s\tstats\tpositions=%zu matched=%zu/%zu max_depth=%zu "
         "resident_states=%zu traversals=%zu\n",
@@ -258,13 +279,25 @@ void EvaluateDocument(const std::string& label, const std::string& text,
   }
 }
 
+/// Final NWStats dump: one stable JSON object (--stats=json) or the
+/// aligned text rendering appended after the per-document lines.
+void RenderStats(const StatsRegistry& registry, const Options& opt) {
+  if (!opt.stats) return;
+  if (opt.stats_json) {
+    std::printf("%s\n", registry.RenderJson().c_str());
+  } else {
+    std::fputs(registry.RenderText().c_str(), stdout);
+  }
+}
+
 /// The --freeze/--threads path: pre-explore the shared bank, snapshot it
 /// into an immutable FrozenBank, and shard the whole corpus across worker
 /// threads. Output (match lines, per-document order) is byte-identical to
 /// the single-stream path at any thread count.
 int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
                 size_t num_symbols, Symbol other,
-                const std::vector<std::string>& query_texts) {
+                const std::vector<std::string>& query_texts,
+                StatsRegistry* registry, Tracer* tracer) {
   /// Exhaustive-exploration guard. The full product is exponential in the
   /// bank size and its return closure is |Q|·|frames|·|Σ| steps, so
   /// exhaustive freezing is for small banks; a bank that trips the cap is
@@ -272,6 +305,14 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
   /// --freeze=corpus instead).
   constexpr size_t kFreezeStateCap = 1u << 16;
   SharedBank* shared = bank->shared.get();
+  // The exploration/training sink: product states interned and memo
+  // traffic while building the snapshot land under the "main" label; the
+  // serving traffic lands in the per-shard sinks below.
+  StatsSink main_sink;
+  if (opt.stats) {
+    registry->Register("main", &main_sink);
+    shared->set_stats(&main_sink);
+  }
   if (!opt.freeze_files.empty()) {
     // Train: stream the training corpus through a single-stream engine
     // over the shared bank; its memoization IS the exploration.
@@ -312,6 +353,8 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
   }
 
   ShardedEvaluator evaluator(&frozen, num_symbols, other, opt.threads);
+  if (opt.stats) evaluator.AttachStats(registry);
+  evaluator.set_tracer(tracer);
   std::vector<DocResult> results =
       evaluator.EvaluateCorpus(corpus, *alphabet, !opt.quiet);
   for (size_t d = 0; d < results.size(); ++d) {
@@ -321,7 +364,7 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
       PrintMatchLines(labels[d], results[d].accept, results[d].first_match,
                       query_texts);
     }
-    if (opt.stats) {
+    if (opt.stats && !opt.stats_json) {
       std::printf("%s\tstats\tpositions=%zu matched=%zu/%zu\n",
                   labels[d].c_str(), results[d].positions, matched,
                   results[d].accept.size());
@@ -329,12 +372,17 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
   }
   if (opt.stats) {
     const ServeStats& s = evaluator.stats();
-    std::printf(
-        "serve\tstats\tthreads=%zu docs=%zu positions=%zu frozen_states=%zu "
-        "frozen_hits=%zu frozen_misses=%zu hit_rate=%.4f\n",
-        s.threads, s.documents, s.positions, frozen.num_states(),
-        s.frozen_hits, s.frozen_misses, s.hit_rate());
+    registry->SetMetaNum("frozen_states", frozen.num_states());
+    if (!opt.stats_json) {
+      std::printf(
+          "serve\tstats\tthreads=%zu docs=%zu positions=%zu "
+          "frozen_states=%zu frozen_hits=%zu frozen_misses=%zu "
+          "hit_rate=%.4f\n",
+          s.threads, s.documents, s.positions, frozen.num_states(),
+          s.frozen_hits, s.frozen_misses, s.hit_rate());
+    }
   }
+  RenderStats(*registry, opt);
   return 0;
 }
 
@@ -382,7 +430,7 @@ int main(int argc, char** argv) {
   Symbol other = alphabet.Intern("%other");
   const size_t num_symbols = alphabet.size();
   OptimizedBank bank = OptimizeBank(queries, num_symbols, opt.opt);
-  if (opt.stats) {
+  if (opt.stats && !opt.stats_json) {
     std::printf("compile\tstats\topt=%s queries=%zu states_compiled=%zu "
                 "states_final=%zu shared_bank=%s\n",
                 opt.opt_level.c_str(), bank.queries.size(),
@@ -390,10 +438,23 @@ int main(int argc, char** argv) {
                 bank.shared != nullptr ? "yes" : "no");
   }
 
+  // NWStats: the registry outlives every sink render; the tracer is
+  // enabled only by the environment (NWQUERY_TRACE=file).
+  StatsRegistry registry;
+  std::unique_ptr<Tracer> tracer = Tracer::FromEnv();
+  if (opt.stats) {
+    registry.SetMeta("mode", opt.freeze ? "frozen" : "single");
+    registry.SetMeta("opt", opt.opt_level);
+    registry.SetMetaNum("queries", bank.queries.size());
+    registry.SetMetaNum("threads", opt.threads);
+    registry.SetMetaNum("states_compiled", bank.states_compiled());
+    registry.SetMetaNum("states_final", bank.states_final());
+  }
+
   // Phase 3a: frozen serving — pre-explore, snapshot, shard.
   if (opt.freeze) {
     return ServeFrozen(opt, &bank, &alphabet, num_symbols, other,
-                       query_texts);
+                       query_texts, &registry, tracer.get());
   }
 
   // Phase 3b: single stream — every document once through the whole bank.
@@ -403,11 +464,18 @@ int main(int argc, char** argv) {
   // prints them, so it skips the per-position acceptance scan too.
   engine.set_track_matches(!opt.quiet);
   bank.Register(&engine);
+  StatsSink main_sink;
+  if (opt.stats) {
+    registry.Register("main", &main_sink);
+    engine.set_stats(&main_sink);
+    if (bank.shared != nullptr) bank.shared->set_stats(&main_sink);
+  }
 
   for (const std::string& path : opt.xml_files) {
     std::string text;
     if (!ReadFile(path, &text)) return 1;
-    EvaluateDocument(path, text, query_texts, &alphabet, &engine, opt);
+    EvaluateDocument(path, text, query_texts, &alphabet, &engine, opt,
+                     tracer.get());
   }
 
   if (opt.random_docs > 0) {
@@ -417,8 +485,9 @@ int main(int argc, char** argv) {
       std::string text =
           RandomXmlDocument(&rng, gen, opt.positions, opt.depth);
       EvaluateDocument("random[" + std::to_string(d) + "]", text,
-                       query_texts, &alphabet, &engine, opt);
+                       query_texts, &alphabet, &engine, opt, tracer.get());
     }
   }
+  RenderStats(registry, opt);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/stats.h"
 #include "support/check.h"
 
 namespace nw {
@@ -75,6 +76,21 @@ StateId FrozenBank::FindTuple(const StateId* tuple) const {
 OverflowBank::OverflowBank(const FrozenBank* frozen)
     : frozen_(frozen), local_(frozen->autos()) {}
 
+void OverflowBank::set_stats(StatsSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = sink;
+}
+
+void OverflowBank::CountStep(StateId result) {
+  if (stats_ == nullptr) return;
+  stats_->overflow_steps.Inc();
+  if (IsOverflowId(result)) {
+    stats_->overflow_escalations.Inc();
+  } else {
+    stats_->overflow_mapbacks.Inc();
+  }
+}
+
 StateId OverflowBank::ToLocal(StateId q) {
   if (IsOverflowId(q)) return q & ~kOverflowBit;
   auto it = frozen_to_local_.find(q);
@@ -100,7 +116,9 @@ StateId OverflowBank::FromLocal(StateId local) {
 StateId OverflowBank::StepInternal(StateId q, Symbol a) {
   std::lock_guard<std::mutex> lock(mu_);
   ++steps_;
-  return FromLocal(local_.StepInternal(ToLocal(q), a));
+  StateId out = FromLocal(local_.StepInternal(ToLocal(q), a));
+  CountStep(out);
+  return out;
 }
 
 StateId OverflowBank::StepCall(StateId q, Symbol a, StateId* hier_out) {
@@ -109,14 +127,18 @@ StateId OverflowBank::StepCall(StateId q, Symbol a, StateId* hier_out) {
   StateId h;
   StateId lin = local_.StepCall(ToLocal(q), a, &h);
   *hier_out = FromLocal(h);
-  return FromLocal(lin);
+  StateId out = FromLocal(lin);
+  CountStep(out);
+  return out;
 }
 
 StateId OverflowBank::StepReturn(StateId q, StateId hier, Symbol a) {
   std::lock_guard<std::mutex> lock(mu_);
   ++steps_;
   StateId h = hier == kNoState ? kNoState : ToLocal(hier);
-  return FromLocal(local_.StepReturn(ToLocal(q), h, a));
+  StateId out = FromLocal(local_.StepReturn(ToLocal(q), h, a));
+  CountStep(out);
+  return out;
 }
 
 void OverflowBank::CopyAccepts(StateId q, uint64_t* out) {

@@ -149,6 +149,15 @@ class OverflowBank {
   /// `frozen` must outlive the bank.
   explicit OverflowBank(const FrozenBank* frozen);
 
+  /// Attaches an NWStats sink (obs/stats.h): every step then counts into
+  /// overflow_steps, and its outcome into overflow_mapbacks (the result
+  /// mapped back into frozen space — a transient excursion ended) or
+  /// overflow_escalations (the result stayed overflow-tagged). All
+  /// increments happen under the bank's own mutex, which also makes the
+  /// sink single-writer as long as it is the shard's private one — the
+  /// intended deployment. Off (nullptr) by default.
+  void set_stats(StatsSink* sink);
+
   // -- Steps, mirroring the engine-facing SharedBank API. `q` (and `hier`)
   // may be frozen or overflow ids; results are frozen ids whenever the
   // target tuple exists in the snapshot. --
@@ -181,11 +190,16 @@ class OverflowBank {
   /// Maps a local step result back to its frozen twin when the snapshot
   /// has one, else tags it. Caller holds mu_.
   StateId FromLocal(StateId local);
+  /// NWStats tally for one step whose linear result is `result`. Caller
+  /// holds mu_; no-op without a sink.
+  void CountStep(StateId result);
 
   const FrozenBank* frozen_;
   std::mutex mu_;
   SharedBank local_;
   size_t steps_ = 0;
+  /// NWStats sink, or nullptr when observability is off (see set_stats).
+  StatsSink* stats_ = nullptr;
   std::unordered_map<StateId, StateId> frozen_to_local_;
   /// Lazy local→frozen cache; kNoState entries mean "not probed yet",
   /// probed twins are either a frozen id or kOverflowBit|local.

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "support/check.h"
+#include "support/stopwatch.h"
 #include "xml/xml.h"
 
 namespace nw {
@@ -21,6 +24,15 @@ ShardedEvaluator::ShardedEvaluator(const FrozenBank* frozen,
                "frozen bank symbol space mismatch");
 }
 
+void ShardedEvaluator::AttachStats(StatsRegistry* registry) {
+  NW_CHECK_MSG(sinks_.empty(), "AttachStats() may be called once");
+  sinks_.reserve(threads_);
+  for (size_t w = 0; w < threads_; ++w) {
+    sinks_.push_back(std::make_unique<StatsSink>());
+    registry->Register("shard/" + std::to_string(w), sinks_[w].get());
+  }
+}
+
 std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
     const std::vector<std::string>& corpus, const Alphabet& alphabet,
     bool track_matches) {
@@ -28,21 +40,37 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
   std::atomic<size_t> cursor{0};
   std::atomic<size_t> hits{0}, misses{0}, total_positions{0};
   // Each worker owns every piece of mutable state it touches: the engine
-  // (run state), the overflow bank (snapshot-miss escape hatch), and an
+  // (run state), the overflow bank (snapshot-miss escape hatch), the
   // alphabet copy (streaming interns names first seen in documents — the
   // copies may diverge, but every post-freeze symbol remaps to the
-  // catch-all before stepping, so results cannot depend on the ids).
-  // Only the FrozenBank is shared, and it is read-only by construction.
-  auto worker = [&]() {
+  // catch-all before stepping, so results cannot depend on the ids), and
+  // its NWStats shard sink (single-writer by construction: shard indexes
+  // are unique, so each sink has exactly one writing thread while the
+  // registry's readers merge relaxed-atomic snapshots). Only the
+  // FrozenBank is shared, and it is read-only by construction.
+  auto worker = [&](size_t shard) {
+    StatsSink* sink = sinks_.empty() ? nullptr : sinks_[shard].get();
+    Stopwatch wall;
+    uint64_t busy_us = 0;
+    // Sinks are cumulative across EvaluateCorpus calls; ServeStats is
+    // per-call, so the frozen hit/miss contribution is a delta.
+    const size_t hits0 = sink == nullptr ? 0 : sink->frozen_hits.value();
+    const size_t miss0 = sink == nullptr ? 0 : sink->frozen_misses.value();
     Alphabet local_alphabet = alphabet;
     OverflowBank overflow(frozen_);
     QueryEngine engine(num_symbols_);
     if (other_ != Alphabet::kNoSymbol) engine.set_other_symbol(other_);
     engine.set_track_matches(track_matches);
     engine.AddFrozen(frozen_, &overflow);
+    if (sink != nullptr) {
+      engine.set_stats(sink);
+      overflow.set_stats(sink);
+    }
     for (;;) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= corpus.size()) break;
+      Stopwatch doc_sw;
+      TraceSpan span(tracer_, "doc", "corpus/" + std::to_string(i));
       size_t before = engine.positions();
       DocResult& r = results[i];
       r.accept = engine.RunAll(corpus[i], &local_alphabet);
@@ -53,11 +81,26 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
           r.first_match[q] = engine.first_match(q);
         }
       }
+      busy_us += static_cast<uint64_t>(doc_sw.ElapsedUs());
+      if (sink != nullptr) {
+        sink->shard_docs.Inc();
+        sink->shard_bytes.Add(corpus[i].size());
+        sink->shard_positions.Add(r.positions);
+      }
+      span.Note("shard", shard);
+      span.Note("positions", r.positions);
+      span.Note("bytes", corpus[i].size());
     }
-    hits.fetch_add(engine.frozen_hits(), std::memory_order_relaxed);
-    misses.fetch_add(engine.frozen_misses(), std::memory_order_relaxed);
+    hits.fetch_add(engine.frozen_hits() - hits0, std::memory_order_relaxed);
+    misses.fetch_add(engine.frozen_misses() - miss0,
+                     std::memory_order_relaxed);
     total_positions.fetch_add(engine.positions(),
                               std::memory_order_relaxed);
+    if (sink != nullptr) {
+      uint64_t wall_us = static_cast<uint64_t>(wall.ElapsedUs());
+      sink->shard_busy_us.Add(busy_us);
+      sink->shard_wait_us.Add(wall_us > busy_us ? wall_us - busy_us : 0);
+    }
   };
   // No point spawning more workers than documents; one worker still runs
   // for an empty corpus so stats come back well-defined.
@@ -65,7 +108,7 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
   if (corpus.size() < n) n = corpus.size() > 0 ? corpus.size() : 1;
   std::vector<std::thread> pool;
   pool.reserve(n);
-  for (size_t w = 0; w < n; ++w) pool.emplace_back(worker);
+  for (size_t w = 0; w < n; ++w) pool.emplace_back(worker, w);
   for (std::thread& t : pool) t.join();
   stats_ = ServeStats{};
   stats_.documents = corpus.size();
@@ -110,6 +153,20 @@ std::vector<std::string> SplitTopLevel(const std::string& xml) {
   // Trailing top-level text and unclosed opens spill into a final chunk.
   if (chunk_start < xml.size()) out.push_back(xml.substr(chunk_start));
   if (out.empty()) out.push_back(xml);
+  return out;
+}
+
+std::vector<std::string> SplitTopLevel(const std::string& xml,
+                                       StatsSink* stats) {
+  NW_CHECK_MSG(stats != nullptr,
+               "the reporting SplitTopLevel overload needs a sink; call "
+               "the plain overload when stats are off");
+  std::vector<std::string> out = SplitTopLevel(xml);
+  stats->split_chunks.Add(out.size());
+  for (const std::string& chunk : out) {
+    stats->split_max_chunk_bytes.SetMax(chunk.size());
+    stats->split_chunk_bytes.Record(chunk.size());
+  }
   return out;
 }
 

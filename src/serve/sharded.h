@@ -12,6 +12,7 @@
 #define NW_SERVE_SHARDED_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,9 @@
 #include "serve/frozen_bank.h"
 
 namespace nw {
+
+class StatsRegistry;
+class Tracer;
 
 /// One document's evaluation, in corpus order.
 struct DocResult {
@@ -81,12 +85,31 @@ class ShardedEvaluator {
   /// Counters of the most recent EvaluateCorpus call.
   const ServeStats& stats() const { return stats_; }
 
+  /// Attaches NWStats: the evaluator creates one private StatsSink per
+  /// worker shard, registers each with `registry` as "shard/N", and from
+  /// then on every EvaluateCorpus wires each worker's engine, tokenizer,
+  /// and overflow bank to its shard's sink and additionally records the
+  /// shard-loop metrics (documents and bytes pulled, busy vs. queue-wait
+  /// time). Sinks are cumulative across calls and owned by the evaluator,
+  /// which must therefore outlive any registry render. Call once, before
+  /// the first EvaluateCorpus.
+  void AttachStats(StatsRegistry* registry);
+
+  /// Attaches an opt-in span tracer (obs/trace.h): each document then
+  /// writes one "doc" span (shard, corpus index, positions, bytes).
+  /// nullptr (the default) disables tracing. `tracer` must outlive the
+  /// evaluator's EvaluateCorpus calls.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   const FrozenBank* frozen_;
   size_t num_symbols_;
   Symbol other_;
   size_t threads_;
   ServeStats stats_;
+  /// One sink per shard (see AttachStats); empty when stats are off.
+  std::vector<std::unique_ptr<StatsSink>> sinks_;
+  Tracer* tracer_ = nullptr;
 };
 
 /// Splits an XML document at top-level element boundaries: each returned
@@ -100,6 +123,13 @@ class ShardedEvaluator {
 /// the trailing chunk; a document with no top-level structure comes back
 /// as a single chunk.
 std::vector<std::string> SplitTopLevel(const std::string& xml);
+
+/// NWStats-reporting overload: additionally records the chunk count, the
+/// largest chunk, and the chunk-size distribution into `*stats` — the
+/// shard-skew early warning (one giant record caps parallel speedup).
+/// `stats` must not be null; the plain overload is the disabled path.
+std::vector<std::string> SplitTopLevel(const std::string& xml,
+                                       StatsSink* stats);
 
 }  // namespace nw
 

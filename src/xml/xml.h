@@ -17,6 +17,10 @@
 
 namespace nw {
 
+// The NWStats sink (obs/stats.h) is held by pointer only, so the xml
+// layer's header stays free of observability includes.
+struct StatsSink;
+
 /// Incremental pull tokenizer over SAX-style XML text. Yields one tagged
 /// position at a time so consumers (NwaRunner, the query engine) can
 /// stream a document with memory bounded by its depth instead of its
@@ -32,6 +36,17 @@ class XmlTokenStream {
       : text_(text), alphabet_(alphabet) {}
   /// The stream reads `text` incrementally; a temporary would dangle.
   XmlTokenStream(std::string&& text, Alphabet* alphabet) = delete;
+  /// Flushes tallies to the stats sink if one is attached (see Flush).
+  ~XmlTokenStream();
+
+  /// Attaches an NWStats sink (obs/stats.h): the stream then tallies
+  /// bytes consumed, tokens by kind, and the call/return depth
+  /// high-water mark. Tallies are PLAIN LOCAL COUNTERS — zero atomic
+  /// traffic per token — flushed into the sink once, when the stream
+  /// ends (or is destroyed mid-document after an early stop), so the
+  /// enabled hot path costs a handful of register increments and the
+  /// disabled path one branch on a pointer constant for the stream.
+  void set_stats(StatsSink* stats) { stats_ = stats; }
 
   /// Produces the next position into `*out`; false at end of input.
   bool Next(TaggedSymbol* out);
@@ -45,6 +60,9 @@ class XmlTokenStream {
   size_t pos() const { return pos_; }
 
  private:
+  /// One-shot flush of the local tallies into stats_ (idempotent).
+  void Flush();
+
   const std::string& text_;
   Alphabet* alphabet_;
   size_t pos_ = 0;
@@ -53,6 +71,11 @@ class XmlTokenStream {
   /// Return emitted right after a self-closing tag's call; kNoSymbol when
   /// none is queued.
   Symbol queued_return_ = Alphabet::kNoSymbol;
+  // -- NWStats tallies (plain locals, flushed once; see set_stats). --
+  StatsSink* stats_ = nullptr;
+  bool flushed_ = false;
+  size_t calls_ = 0, returns_ = 0, internals_ = 0;
+  size_t depth_ = 0, depth_hwm_ = 0;
 };
 
 /// Tokenizes `text` into a materialized nested word (XmlTokenStream run to

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.h"
 #include "opt/pipeline.h"
 #include "query/engine.h"
 #include "query/nwquery.h"
@@ -302,6 +303,42 @@ TEST(SplitTopLevel, UnstructuredInputIsOneChunk) {
   EXPECT_EQ(SplitTopLevel("just text, no tags"),
             std::vector<std::string>{"just text, no tags"});
   EXPECT_EQ(SplitTopLevel(""), std::vector<std::string>{""});
+}
+
+TEST(ShardedEvaluator, AttachedRegistryAccountsForTheWholeCorpus) {
+  Workload w(RichQueryTexts());
+  std::vector<std::string> corpus = MakeCorpus(24, 99);
+  std::vector<DocResult> want = ReferenceResults(w, corpus);
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, 4);
+  StatsRegistry registry;
+  evaluator.AttachStats(&registry);
+  std::vector<DocResult> got =
+      evaluator.EvaluateCorpus(corpus, w.alphabet, true);
+  ExpectSameResults(want, got);  // instrumentation never changes results
+  // Per-shard tallies must account for every document and byte exactly.
+  StatsSink agg;
+  registry.Aggregate(&agg);
+  size_t total_bytes = 0;
+  for (const std::string& doc : corpus) total_bytes += doc.size();
+  EXPECT_EQ(agg.shard_docs.value(), corpus.size());
+  EXPECT_EQ(agg.shard_bytes.value(), total_bytes);
+  EXPECT_GT(agg.shard_positions.value(), 0u);
+  // The registry's frozen counters agree with the legacy ServeStats.
+  ServeStats stats = evaluator.stats();
+  EXPECT_EQ(agg.frozen_hits.value(), stats.frozen_hits);
+  EXPECT_EQ(agg.frozen_misses.value(), stats.frozen_misses);
+  // Utilization of every shard renders as a number in [0, 1].
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"label\":\"shard/0\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"shard/3\""), std::string::npos);
+  // A second corpus pass keeps accumulating into the same sinks.
+  evaluator.EvaluateCorpus(corpus, w.alphabet, true);
+  StatsSink agg2;
+  registry.Aggregate(&agg2);
+  EXPECT_EQ(agg2.shard_docs.value(), 2 * corpus.size());
+  EXPECT_EQ(agg2.frozen_hits.value() + agg2.frozen_misses.value(),
+            2 * (stats.frozen_hits + stats.frozen_misses));
 }
 
 }  // namespace
