@@ -31,6 +31,43 @@ void BenchReport::Metric(const std::string& key, double value) {
   metrics_.emplace_back(key, value);
 }
 
+namespace {
+
+/// Build-environment fingerprint for the host object, so bench_diff can
+/// refuse apples-to-oranges comparisons (a clang-Release number means
+/// nothing against a gcc-Debug baseline). All compile-time facts.
+const char* CompilerId() {
+#if defined(__clang__)
+  return "clang";
+#elif defined(__GNUC__)
+  return "gcc";
+#else
+  return "unknown";
+#endif
+}
+
+const char* OsId() {
+#if defined(__linux__)
+  return "linux";
+#elif defined(__APPLE__)
+  return "darwin";
+#elif defined(_WIN32)
+  return "windows";
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildType() {
+#ifdef NW_BUILD_TYPE
+  return NW_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
 std::string BenchReport::ToJson(bool quick) const {
   std::string out;
   out.push_back('{');
@@ -38,10 +75,30 @@ std::string BenchReport::ToJson(bool quick) const {
   out.push_back(':');
   AppendJsonString(&out, name_);
   out += quick ? ",\"quick\":true," : ",\"quick\":false,";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "\"host\":{\"hardware_threads\":%u},",
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "\"host\":{\"hardware_threads\":%u,",
                 std::thread::hardware_concurrency());
   out += buf;
+  AppendJsonString(&out, "compiler");
+  out.push_back(':');
+  AppendJsonString(&out, CompilerId());
+  out.push_back(',');
+  AppendJsonString(&out, "compiler_version");
+  out.push_back(':');
+#ifdef __VERSION__
+  AppendJsonString(&out, __VERSION__);
+#else
+  AppendJsonString(&out, "unknown");
+#endif
+  out.push_back(',');
+  AppendJsonString(&out, "build_type");
+  out.push_back(':');
+  AppendJsonString(&out, BuildType());
+  out.push_back(',');
+  AppendJsonString(&out, "os");
+  out.push_back(':');
+  AppendJsonString(&out, OsId());
+  out += "},";
   AppendJsonString(&out, "metrics");
   out += ":{";
   for (size_t i = 0; i < metrics_.size(); ++i) {

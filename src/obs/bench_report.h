@@ -5,8 +5,14 @@
 // and BENCH_trajectory.json can track the curve across re-anchors.
 //
 //   {"bench":"bench_query_engine","quick":false,
-//    "host":{"hardware_threads":16},
+//    "host":{"hardware_threads":16,"compiler":"clang",
+//            "compiler_version":"...","build_type":"RelWithDebInfo",
+//            "os":"linux"},
 //    "metrics":{"batched_speedup@65536":6.5,...}}
+//
+// The host object fingerprints the build environment; the bench_diff
+// watchdog (tools/bench_diff.py) compares it before comparing metrics
+// and refuses timing comparisons across differing configurations.
 //
 // Metrics keep insertion order, so reports diff cleanly run to run.
 #ifndef NW_OBS_BENCH_REPORT_H_

@@ -1,0 +1,23 @@
+#include "obs/prof.h"
+
+#include "support/check.h"
+
+namespace nw {
+
+void QueryAttribution::MergeFrom(const QueryAttribution& other) {
+  NW_CHECK_MSG(other.k_ == k_,
+               "cannot merge a %zu-query attribution table into a "
+               "%zu-query one; all shards must profile the same bank",
+               other.k_, k_);
+  docs.MergeFrom(other.docs);
+  positions.MergeFrom(other.positions);
+  for (size_t i = 0; i < k_; ++i) {
+    cells_[i].match_docs.MergeFrom(other.cells_[i].match_docs);
+    cells_[i].accept_positions.MergeFrom(other.cells_[i].accept_positions);
+    cells_[i].escalations.MergeFrom(other.cells_[i].escalations);
+    cells_[i].states_compiled.MergeMaxFrom(other.cells_[i].states_compiled);
+    cells_[i].states_final.MergeMaxFrom(other.cells_[i].states_final);
+  }
+}
+
+}  // namespace nw

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "support/check.h"
+
 namespace nw {
 
 void StatsSink::MergeFrom(const StatsSink& other) {
@@ -60,6 +62,23 @@ void StatsRegistry::SetMetaNum(const std::string& key, uint64_t value) {
     }
   }
   meta_.push_back({key, {}, value, true});
+}
+
+void StatsRegistry::RegisterAttribution(const QueryAttribution* attr) {
+  NW_CHECK_MSG(attr != nullptr, "RegisterAttribution() needs a table");
+  NW_CHECK_MSG(attrs_.empty() ||
+                   attrs_.front()->num_queries() == attr->num_queries(),
+               "attribution tables disagree on the bank size (%zu vs %zu)",
+               attrs_.front()->num_queries(), attr->num_queries());
+  attrs_.push_back(attr);
+}
+
+void StatsRegistry::SetQueryLabels(std::vector<std::string> labels) {
+  query_labels_ = std::move(labels);
+}
+
+void StatsRegistry::SetTimeline(const CompileTimeline* timeline) {
+  timeline_ = timeline;
 }
 
 void StatsRegistry::Aggregate(StatsSink* out) const {
@@ -146,11 +165,18 @@ double Ratio(uint64_t num, uint64_t den) {
   return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
 }
 
-/// Fraction of frozen-path steps served lock-free; 1.0 with no traffic
-/// (matches ServeStats::hit_rate so the two surfaces never disagree).
+/// Did any step take the frozen path at all? With zero traffic there is
+/// no hit rate to report — the render says null/n-a instead of a
+/// misleading 1.0 (a run that never served frozen is not "100% hits").
+bool HasFrozenTraffic(const StatsSink& s) {
+  return s.frozen_hits.value() + s.frozen_misses.value() > 0;
+}
+
+/// Fraction of frozen-path steps served lock-free. Only meaningful when
+/// HasFrozenTraffic; callers gate on that.
 double HitRate(const StatsSink& s) {
-  uint64_t total = s.frozen_hits.value() + s.frozen_misses.value();
-  return total == 0 ? 1.0 : Ratio(s.frozen_hits.value(), total);
+  return Ratio(s.frozen_hits.value(),
+               s.frozen_hits.value() + s.frozen_misses.value());
 }
 
 /// busy / (busy + wait): the shard utilization the skew view reports.
@@ -207,6 +233,56 @@ std::string StatsRegistry::RenderJson() const {
   out.push_back(':');
   AppendHistogram(&out, agg.doc_latency_us);
   out += "},";
+  // queries (NWProf per-query attribution; empty table when none was
+  // attached, so the key set is stable)
+  const size_t k = attrs_.empty() ? 0 : attrs_.front()->num_queries();
+  QueryAttribution attr_agg(k);
+  for (const QueryAttribution* a : attrs_) attr_agg.MergeFrom(*a);
+  AppendJsonString(&out, "queries");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "docs", attr_agg.docs.value());
+  Field(&out, &first, "positions", attr_agg.positions.value());
+  out += ",\"per_query\":[";
+  for (size_t i = 0; i < k; ++i) {
+    if (i > 0) out.push_back(',');
+    const QueryProfile& q = attr_agg.query(i);
+    out.push_back('{');
+    bool f = true;
+    Field(&out, &f, "id", i);
+    if (i < query_labels_.size()) {
+      out += ",\"text\":";
+      AppendJsonString(&out, query_labels_[i]);
+    }
+    Field(&out, &f, "states_compiled", q.states_compiled.value());
+    Field(&out, &f, "states_final", q.states_final.value());
+    Field(&out, &f, "match_docs", q.match_docs.value());
+    Field(&out, &f, "accept_positions", q.accept_positions.value());
+    Field(&out, &f, "escalations", q.escalations.value());
+    out.push_back('}');
+  }
+  out += "]},";
+  // compile (NWProf phase timeline; empty when none was attached)
+  AppendJsonString(&out, "compile");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "total_us",
+        timeline_ == nullptr ? 0 : timeline_->total_us());
+  out += ",\"phases\":[";
+  if (timeline_ != nullptr) {
+    const std::vector<CompilePhase>& phases = timeline_->phases();
+    for (size_t i = 0; i < phases.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "{\"name\":";
+      AppendJsonString(&out, phases[i].name);
+      bool f = false;
+      Field(&out, &f, "us", phases[i].us);
+      Field(&out, &f, "states_before", phases[i].states_before);
+      Field(&out, &f, "states_after", phases[i].states_after);
+      out.push_back('}');
+    }
+  }
+  out += "]},";
   // bank
   AppendJsonString(&out, "bank");
   out += ":{";
@@ -221,7 +297,11 @@ std::string StatsRegistry::RenderJson() const {
   first = true;
   Field(&out, &first, "hits", agg.frozen_hits.value());
   Field(&out, &first, "misses", agg.frozen_misses.value());
-  FieldDbl(&out, &first, "hit_rate", HitRate(agg));
+  if (HasFrozenTraffic(agg)) {
+    FieldDbl(&out, &first, "hit_rate", HitRate(agg));
+  } else {
+    out += ",\"hit_rate\":null";
+  }
   Field(&out, &first, "overflow_steps", agg.overflow_steps.value());
   Field(&out, &first, "overflow_escalations",
         agg.overflow_escalations.value());
@@ -308,15 +388,46 @@ std::string StatsRegistry::RenderText() const {
                 agg.bank_states.value(), agg.bank_memo_hits.value(),
                 agg.bank_memo_misses.value());
   out += buf;
+  char rate[16] = "n/a";
+  if (HasFrozenTraffic(agg)) {
+    std::snprintf(rate, sizeof(rate), "%.4f", HitRate(agg));
+  }
   std::snprintf(buf, sizeof(buf),
                 "frozen   hits=%" PRIu64 " misses=%" PRIu64
-                " hit_rate=%.4f overflow_steps=%" PRIu64
+                " hit_rate=%s overflow_steps=%" PRIu64
                 " escalations=%" PRIu64 " mapbacks=%" PRIu64 "\n",
-                agg.frozen_hits.value(), agg.frozen_misses.value(),
-                HitRate(agg), agg.overflow_steps.value(),
+                agg.frozen_hits.value(), agg.frozen_misses.value(), rate,
+                agg.overflow_steps.value(),
                 agg.overflow_escalations.value(),
                 agg.overflow_mapbacks.value());
   out += buf;
+  if (!attrs_.empty()) {
+    const size_t k = attrs_.front()->num_queries();
+    QueryAttribution attr_agg(k);
+    for (const QueryAttribution* a : attrs_) attr_agg.MergeFrom(*a);
+    for (size_t i = 0; i < k; ++i) {
+      const QueryProfile& q = attr_agg.query(i);
+      std::snprintf(buf, sizeof(buf),
+                    "query    id=%zu states=%" PRIu64 "->%" PRIu64
+                    " match_docs=%" PRIu64 " accept_positions=%" PRIu64
+                    " escalations=%" PRIu64 "%s%s\n",
+                    i, q.states_compiled.value(), q.states_final.value(),
+                    q.match_docs.value(), q.accept_positions.value(),
+                    q.escalations.value(),
+                    i < query_labels_.size() ? " text=" : "",
+                    i < query_labels_.size() ? query_labels_[i].c_str() : "");
+      out += buf;
+    }
+  }
+  if (timeline_ != nullptr) {
+    for (const CompilePhase& p : timeline_->phases()) {
+      std::snprintf(buf, sizeof(buf),
+                    "compile  phase=%s us=%" PRIu64 " states=%" PRIu64
+                    "->%" PRIu64 "\n",
+                    p.name.c_str(), p.us, p.states_before, p.states_after);
+      out += buf;
+    }
+  }
   if (agg.split_chunks.value() > 0) {
     std::snprintf(buf, sizeof(buf),
                   "split    chunks=%" PRIu64 " max_chunk_bytes=%" PRIu64

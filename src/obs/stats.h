@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace nw {
 
@@ -84,6 +85,25 @@ class StatsRegistry {
   void SetMeta(const std::string& key, std::string value);
   void SetMetaNum(const std::string& key, uint64_t value);
 
+  /// Registers an NWProf per-query attribution table (obs/prof.h); the
+  /// render merges all registered tables (one per shard) into the
+  /// `queries` section. Like sinks, tables are held by pointer and must
+  /// outlive the registry's renders; all tables must profile the same
+  /// bank (same K).
+  void RegisterAttribution(const QueryAttribution* attr);
+
+  /// Human-readable query texts, in query-id order; rendered as the
+  /// per-query `text` field when set (ids alone otherwise).
+  void SetQueryLabels(std::vector<std::string> labels);
+
+  /// Attaches the compile-phase timeline (obs/prof.h), rendered as the
+  /// `compile` section. Must outlive the registry's renders.
+  void SetTimeline(const CompileTimeline* timeline);
+
+  const std::vector<const QueryAttribution*>& attributions() const {
+    return attrs_;
+  }
+
   size_t num_sinks() const { return sinks_.size(); }
   const std::vector<std::pair<std::string, const StatsSink*>>& sinks() const {
     return sinks_;
@@ -98,9 +118,13 @@ class StatsRegistry {
   std::string RenderText() const;
 
   /// One JSON object with fixed key order:
-  ///   {"meta":{...},"stream":{...},"engine":{...},"bank":{...},
-  ///    "frozen":{...},"serve":{...,"shards":[...]}}
-  /// documented key-by-key in docs/OBSERVABILITY.md.
+  ///   {"meta":{...},"stream":{...},"engine":{...},"queries":{...},
+  ///    "compile":{...},"bank":{...},"frozen":{...},
+  ///    "serve":{...,"shards":[...]}}
+  /// documented key-by-key in docs/OBSERVABILITY.md. The queries and
+  /// compile sections render empty ({"docs":0,...,"per_query":[]} /
+  /// {"total_us":0,"phases":[]}) when no attribution tables or timeline
+  /// were attached, so the key set is stable either way.
   std::string RenderJson() const;
 
  private:
@@ -112,6 +136,9 @@ class StatsRegistry {
   };
   std::vector<std::pair<std::string, const StatsSink*>> sinks_;
   std::vector<Meta> meta_;
+  std::vector<const QueryAttribution*> attrs_;
+  std::vector<std::string> query_labels_;
+  const CompileTimeline* timeline_ = nullptr;
 };
 
 /// Appends `s` to `*out` as a JSON string literal (quotes + escapes).

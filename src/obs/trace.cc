@@ -2,29 +2,44 @@
 
 #include <cinttypes>
 #include <cstdlib>
+#include <cstring>
 
 #include "obs/stats.h"
 
 namespace nw {
 
-Tracer::Tracer(const std::string& path)
-    : epoch_(std::chrono::steady_clock::now()) {
+Tracer::Tracer(const std::string& path, TraceFormat format)
+    : format_(format), epoch_(std::chrono::steady_clock::now()) {
   if (path == "-") {
     file_ = stderr;
   } else {
-    file_ = std::fopen(path.c_str(), "a");
+    // A chrome trace is one JSON array, so the file cannot be shared
+    // with a previous run's output the way appended JSONL can.
+    file_ = std::fopen(path.c_str(),
+                       format_ == TraceFormat::kChrome ? "w" : "a");
     owns_file_ = file_ != nullptr;
+  }
+  if (file_ != nullptr && format_ == TraceFormat::kChrome) {
+    std::fputs("[", file_);
   }
 }
 
 Tracer::~Tracer() {
+  if (file_ != nullptr && format_ == TraceFormat::kChrome) {
+    std::fputs("\n]\n", file_);
+  }
   if (owns_file_) std::fclose(file_);
 }
 
-std::unique_ptr<Tracer> Tracer::FromEnv(const char* var) {
+std::unique_ptr<Tracer> Tracer::FromEnv(const char* var,
+                                        const char* format_var) {
   const char* path = std::getenv(var);
   if (path == nullptr || *path == '\0') return nullptr;
-  auto tracer = std::make_unique<Tracer>(path);
+  const char* fmt = std::getenv(format_var);
+  TraceFormat format = fmt != nullptr && std::strcmp(fmt, "chrome") == 0
+                           ? TraceFormat::kChrome
+                           : TraceFormat::kJsonl;
+  auto tracer = std::make_unique<Tracer>(path, format);
   if (!tracer->ok()) {
     std::fprintf(stderr, "trace: cannot open %s=%s; tracing disabled\n", var,
                  path);
@@ -40,12 +55,57 @@ uint64_t Tracer::NowUs() const {
           .count());
 }
 
+void Tracer::Emit(const std::string& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (format_ == TraceFormat::kChrome) {
+    // Comma-separate array elements; a leading newline per event keeps
+    // the file diffable without breaking the array.
+    if (!first_event_) std::fputs(",", file_);
+    first_event_ = false;
+    std::fputs("\n", file_);
+  }
+  std::fwrite(event.data(), 1, event.size(), file_);
+  if (format_ == TraceFormat::kJsonl) std::fputs("\n", file_);
+}
+
 void Tracer::WriteSpan(
     const std::string& name, const std::string& label, uint64_t start_us,
     uint64_t dur_us,
     const std::vector<std::pair<std::string, uint64_t>>& fields) {
   if (file_ == nullptr) return;
+  char buf[64];
   std::string line;
+  if (format_ == TraceFormat::kChrome) {
+    // Complete ("X") event: ts/dur in µs, pid fixed, tid = the span's
+    // shard so Perfetto lays shards out as tracks. Everything else —
+    // the label and the numeric fields — goes under args.
+    uint64_t tid = 0;
+    for (const auto& [key, value] : fields) {
+      if (key == "shard") tid = value;
+    }
+    line.push_back('{');
+    AppendJsonString(&line, "name");
+    line.push_back(':');
+    AppendJsonString(&line, name);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"cat\":\"nwquery\",\"ph\":\"X\",\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":%" PRIu64,
+                  start_us, dur_us, tid);
+    line += buf;
+    line += ",\"args\":{";
+    AppendJsonString(&line, "label");
+    line.push_back(':');
+    AppendJsonString(&line, label);
+    for (const auto& [key, value] : fields) {
+      line.push_back(',');
+      AppendJsonString(&line, key);
+      std::snprintf(buf, sizeof(buf), ":%" PRIu64, value);
+      line += buf;
+    }
+    line += "}}";
+    Emit(line);
+    return;
+  }
   line.push_back('{');
   AppendJsonString(&line, "name");
   line.push_back(':');
@@ -54,7 +114,6 @@ void Tracer::WriteSpan(
   AppendJsonString(&line, "label");
   line.push_back(':');
   AppendJsonString(&line, label);
-  char buf[64];
   std::snprintf(buf, sizeof(buf), ",\"start_us\":%" PRIu64
                 ",\"dur_us\":%" PRIu64, start_us, dur_us);
   line += buf;
@@ -64,9 +123,41 @@ void Tracer::WriteSpan(
     std::snprintf(buf, sizeof(buf), ":%" PRIu64, value);
     line += buf;
   }
-  line += "}\n";
-  std::lock_guard<std::mutex> lock(mu_);
-  std::fwrite(line.data(), 1, line.size(), file_);
+  line.push_back('}');
+  Emit(line);
+}
+
+void Tracer::WriteCounters(uint64_t shard, const StatsSink& sink) {
+  if (file_ == nullptr) return;
+  const uint64_t docs = sink.engine_docs.value();
+  const uint64_t positions = sink.engine_positions.value();
+  const uint64_t hits = sink.frozen_hits.value();
+  const uint64_t misses = sink.frozen_misses.value();
+  char buf[256];
+  std::string line;
+  if (format_ == TraceFormat::kChrome) {
+    // Counter ("C") event: one per shard; Perfetto plots each args key
+    // as a series under the counter track named after the shard.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"shard/%" PRIu64
+                  "\",\"cat\":\"nwquery\",\"ph\":\"C\",\"ts\":%" PRIu64
+                  ",\"pid\":1,\"tid\":%" PRIu64
+                  ",\"args\":{\"docs\":%" PRIu64 ",\"positions\":%" PRIu64
+                  ",\"frozen_hits\":%" PRIu64 ",\"frozen_misses\":%" PRIu64
+                  "}}",
+                  shard, NowUs(), shard, docs, positions, hits, misses);
+    line = buf;
+    Emit(line);
+    return;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"counters\",\"shard\":%" PRIu64
+                ",\"ts_us\":%" PRIu64 ",\"docs\":%" PRIu64
+                ",\"positions\":%" PRIu64 ",\"frozen_hits\":%" PRIu64
+                ",\"frozen_misses\":%" PRIu64 "}",
+                shard, NowUs(), docs, positions, hits, misses);
+  line = buf;
+  Emit(line);
 }
 
 }  // namespace nw

@@ -1,16 +1,25 @@
-// NWStats scoped-span tracer: opt-in per-document span recording as JSON
-// lines (one object per line, the `jq`-able "JSONL" shape). Off by
+// NWStats scoped-span tracer: opt-in per-document span recording. Off by
 // default everywhere; the nwquery CLI enables it when the NWQUERY_TRACE
 // environment variable names a writable file. A null Tracer* makes every
 // TraceSpan a no-op behind a branch on a constant pointer, so tracing
 // costs nothing unless asked for — the same discipline as the stats
 // sinks (obs/stats.h).
 //
-// Line format (stable field order; documented in docs/OBSERVABILITY.md):
-//   {"name":"doc","label":"corpus/a.xml","shard":0,"start_us":12,
-//    "dur_us":345,"positions":678,"matched":2}
-// `start_us` is relative to the tracer's construction, so spans from all
-// shards share one clock and a trace is self-contained.
+// Two wire formats, selected at construction (NWQUERY_TRACE_FORMAT for
+// the CLI; see docs/OBSERVABILITY.md):
+//
+//  * kJsonl (default) — one object per line, the `jq`-able shape:
+//      {"name":"doc","label":"corpus/a.xml","shard":0,"start_us":12,
+//       "dur_us":345,"positions":678,"matched":2}
+//  * kChrome — a single JSON array of Trace Event Format events,
+//    loadable in Perfetto / chrome://tracing. Spans become complete
+//    ("ph":"X") events with pid 1 and tid = the span's "shard" field
+//    (0 when absent), remaining numeric fields under "args"; counter
+//    snapshots (WriteCounters) become "ph":"C" events so shard
+//    hit/miss/doc totals plot as time series.
+//
+// `start_us` / "ts" are relative to the tracer's construction, so spans
+// from all shards share one clock and a trace is self-contained.
 #ifndef NW_OBS_TRACE_H_
 #define NW_OBS_TRACE_H_
 
@@ -25,11 +34,22 @@
 
 namespace nw {
 
+struct StatsSink;  // obs/stats.h
+
+/// Wire format of a Tracer's output file.
+enum class TraceFormat {
+  kJsonl,   ///< one JSON object per line (grep/jq-friendly)
+  kChrome,  ///< Chrome Trace Event Format JSON array (Perfetto-loadable)
+};
+
 class Tracer {
  public:
-  /// Opens `path` for append ("-" means stderr). ok() reports whether
-  /// the sink is usable; a failed open leaves a null-object tracer.
-  explicit Tracer(const std::string& path);
+  /// Opens `path` ("-" means stderr; jsonl appends, chrome truncates —
+  /// an event array must own the whole file). ok() reports whether the
+  /// sink is usable; a failed open leaves a null-object tracer.
+  explicit Tracer(const std::string& path,
+                  TraceFormat format = TraceFormat::kJsonl);
+  /// Chrome mode closes the event array; both modes flush and close.
   ~Tracer();
 
   Tracer(const Tracer&) = delete;
@@ -38,22 +58,41 @@ class Tracer {
   /// Builds a tracer from the environment (default NWQUERY_TRACE), or
   /// null when the variable is unset/empty — the common case, letting
   /// callers hold a plain `Tracer*` that is nullptr when disabled.
-  static std::unique_ptr<Tracer> FromEnv(const char* var = "NWQUERY_TRACE");
+  /// `format_var` (default NWQUERY_TRACE_FORMAT) selects the wire
+  /// format: "chrome" for kChrome, anything else (or unset) for kJsonl.
+  static std::unique_ptr<Tracer> FromEnv(
+      const char* var = "NWQUERY_TRACE",
+      const char* format_var = "NWQUERY_TRACE_FORMAT");
 
   bool ok() const { return file_ != nullptr; }
+  TraceFormat format() const { return format_; }
 
   /// Microseconds since tracer construction (the spans' shared clock).
   uint64_t NowUs() const;
 
-  /// Writes one span line; thread-safe (one mutex-guarded fwrite so
-  /// lines from concurrent shards never interleave).
+  /// Writes one span; thread-safe (one mutex-guarded fwrite so events
+  /// from concurrent shards never interleave). Chrome mode renders an
+  /// "X" event on tid = the value of the "shard" field when present.
   void WriteSpan(const std::string& name, const std::string& label,
                  uint64_t start_us, uint64_t dur_us,
                  const std::vector<std::pair<std::string, uint64_t>>& fields);
 
+  /// Snapshots a shard's headline counters (docs, positions, frozen
+  /// hits/misses) as one counter event — a "C" event on tid `shard` in
+  /// chrome mode, a {"name":"counters",...} line in jsonl. Thread-safe;
+  /// call it from the shard that owns `sink` (single-writer sinks are
+  /// only safely readable from their writer thread while serving).
+  void WriteCounters(uint64_t shard, const StatsSink& sink);
+
  private:
+  /// Appends one rendered event under mu_, handling the chrome-mode
+  /// comma separator between array elements. Caller holds no lock.
+  void Emit(const std::string& event);
+
   std::FILE* file_ = nullptr;
   bool owns_file_ = false;
+  TraceFormat format_ = TraceFormat::kJsonl;
+  bool first_event_ = true;  ///< chrome-mode comma tracking; under mu_
   std::mutex mu_;
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/prof.h"
 #include "obs/stats.h"
 #include "support/check.h"
+#include "support/stopwatch.h"
 
 namespace nw {
 
@@ -81,7 +83,18 @@ StateId SharedBank::InternTuple(const std::vector<StateId>& tuple) {
   return Intern(tuple);
 }
 
-bool SharedBank::ExploreAll(size_t max_states) {
+bool SharedBank::ExploreAll(size_t max_states, CompileTimeline* timeline) {
+  Stopwatch sw;
+  const size_t states_before = num_states();
+  bool complete = ExploreFixpoint(max_states);
+  if (timeline != nullptr) {
+    timeline->Record("explore", static_cast<uint64_t>(sw.ElapsedUs()),
+                     states_before, num_states());
+  }
+  return complete;
+}
+
+bool SharedBank::ExploreFixpoint(size_t max_states) {
   // Incremental fixed point: every (state, symbol) internal/call step and
   // every (state, frame, symbol) return step — frames being the call-hier
   // targets plus the pending-return sentinel — is taken exactly once.

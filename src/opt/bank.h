@@ -28,9 +28,11 @@
 
 namespace nw {
 
-// The NWStats sink (obs/stats.h) is held by pointer only, so the opt
-// layer's header stays free of observability includes.
+// The NWStats sink (obs/stats.h) and the NWProf timeline (obs/prof.h)
+// are held by pointer only, so the opt layer's header stays free of
+// observability includes.
 struct StatsSink;
+class CompileTimeline;
 
 class SharedBank {
  public:
@@ -81,7 +83,9 @@ class SharedBank {
   /// whose symbols are in range. Stops early and returns false if the
   /// closure would exceed `max_states` (the partial exploration is kept;
   /// a snapshot then serves what was reached and overflows the rest).
-  bool ExploreAll(size_t max_states);
+  /// With a timeline (obs/prof.h) the call records one "explore" phase:
+  /// wall µs plus the product state count before and after.
+  bool ExploreAll(size_t max_states, CompileTimeline* timeline = nullptr);
 
   /// Interns an externally supplied component tuple (one StateId per
   /// query, kNoState = dead run) and returns its product id. Used by the
@@ -156,6 +160,9 @@ class SharedBank {
   static constexpr StateId kMaxStates = (1u << 24) - 1;
 
   StateId Intern(const std::vector<StateId>& tuple);
+  /// ExploreAll's fixed-point loop, split out so the public entry can
+  /// clock it as one NWProf phase.
+  bool ExploreFixpoint(size_t max_states);
 
   std::vector<const Nwa*> autos_;
   size_t num_symbols_;

@@ -1,10 +1,43 @@
 #include "opt/pipeline.h"
 
+#include "obs/prof.h"
 #include "opt/minimize.h"
 #include "opt/rewrite.h"
 #include "query/compile.h"
+#include "support/stopwatch.h"
 
 namespace nw {
+
+namespace {
+
+/// Per-query µs accumulators for the bank-wide phase records (one phase
+/// entry per PASS, not per query, so the timeline stays K-independent).
+struct PhaseClock {
+  double rewrite_us = 0;
+  double lower_us = 0;
+  double minimize_us = 0;
+};
+
+OptimizedQuery CompileOptimizedClocked(const Query& q, size_t num_symbols,
+                                       const OptOptions& opt,
+                                       PhaseClock* clock) {
+  Stopwatch sw;
+  Query rewritten = opt.rewrite ? RewriteQuery(q) : q;
+  clock->rewrite_us += sw.ElapsedUs();
+  sw.Reset();
+  Nwa compiled = CompileQuery(rewritten, num_symbols);
+  clock->lower_us += sw.ElapsedUs();
+  size_t before = compiled.num_states();
+  sw.Reset();
+  if (opt.minimize) {
+    compiled = MinimizeNwa(compiled).nwa;
+  }
+  clock->minimize_us += sw.ElapsedUs();
+  size_t after = compiled.num_states();
+  return {std::move(rewritten), std::move(compiled), before, after};
+}
+
+}  // namespace
 
 bool ParseOptLevel(const std::string& level, OptOptions* out) {
   if (level == "none") {
@@ -25,14 +58,8 @@ bool ParseOptLevel(const std::string& level, OptOptions* out) {
 
 OptimizedQuery CompileOptimized(const Query& q, size_t num_symbols,
                                 const OptOptions& opt) {
-  Query rewritten = opt.rewrite ? RewriteQuery(q) : q;
-  Nwa compiled = CompileQuery(rewritten, num_symbols);
-  size_t before = compiled.num_states();
-  if (opt.minimize) {
-    compiled = MinimizeNwa(compiled).nwa;
-  }
-  size_t after = compiled.num_states();
-  return {std::move(rewritten), std::move(compiled), before, after};
+  PhaseClock discard;
+  return CompileOptimizedClocked(q, num_symbols, opt, &discard);
 }
 
 void OptimizedBank::Register(QueryEngine* engine) {
@@ -59,14 +86,41 @@ OptimizedBank OptimizeBank(const std::vector<Query>& queries,
                            size_t num_symbols, const OptOptions& opt) {
   OptimizedBank out;
   out.queries.reserve(queries.size());
+  PhaseClock clock;
   for (const Query& q : queries) {
-    out.queries.push_back(CompileOptimized(q, num_symbols, opt));
+    out.queries.push_back(
+        CompileOptimizedClocked(q, num_symbols, opt, &clock));
+  }
+  if (opt.timeline != nullptr) {
+    // One record per pass that ran, µs summed across the bank. The state
+    // deltas are bank totals: lowering produces states_compiled out of an
+    // AST (no meaningful "before"), minimization shrinks them to
+    // states_final.
+    const uint64_t compiled = out.states_compiled();
+    const uint64_t final_states = out.states_final();
+    if (opt.rewrite) {
+      opt.timeline->Record("rewrite",
+                           static_cast<uint64_t>(clock.rewrite_us), 0, 0);
+    }
+    opt.timeline->Record("lower", static_cast<uint64_t>(clock.lower_us), 0,
+                         compiled);
+    if (opt.minimize) {
+      opt.timeline->Record("minimize",
+                           static_cast<uint64_t>(clock.minimize_us),
+                           compiled, final_states);
+    }
   }
   if (opt.bank && !out.queries.empty()) {
     std::vector<const Nwa*> autos;
     autos.reserve(out.queries.size());
     for (const OptimizedQuery& q : out.queries) autos.push_back(&q.nwa);
+    Stopwatch sw;
     out.shared = std::make_unique<SharedBank>(std::move(autos));
+    if (opt.timeline != nullptr) {
+      opt.timeline->Record("bank_build",
+                           static_cast<uint64_t>(sw.ElapsedUs()), 0,
+                           out.shared->num_states());
+    }
   }
   return out;
 }

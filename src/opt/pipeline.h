@@ -20,11 +20,20 @@
 
 namespace nw {
 
+class CompileTimeline;  // obs/prof.h (via query/engine.h → obs/stats.h)
+
 /// Which optimizer passes run. Defaults to none (PR-1 behavior).
 struct OptOptions {
   bool rewrite = false;   ///< AST rewrites (opt/rewrite.h) before lowering
   bool minimize = false;  ///< congruence minimization (opt/minimize.h)
   bool bank = false;      ///< shared product automaton (opt/bank.h)
+  /// NWProf compile-phase timeline (obs/prof.h): when set, OptimizeBank
+  /// records one phase per pass that ran — rewrite, lower, minimize,
+  /// bank_build — with wall µs summed across the bank's queries and the
+  /// total state counts before/after. Null (the default) records nothing.
+  /// Note ParseOptLevel resets the whole struct: attach the timeline
+  /// after parsing flags, not before.
+  CompileTimeline* timeline = nullptr;
 
   static OptOptions None() { return {}; }
   static OptOptions All() { return {true, true, true}; }

@@ -19,16 +19,38 @@ void QueryEngine::set_stats(StatsSink* sink) {
   stats_enabled_ = true;
 }
 
-void QueryEngine::RecordDocStats(uint64_t latency_us, size_t doc_positions) {
-  stats_->engine_docs.Inc();
-  stats_->engine_positions.Add(doc_positions);
-  stats_->doc_latency_us.Record(latency_us);
-  if (frozen_ != nullptr) {
-    stats_->engine_docs_frozen.Inc();
-  } else if (bank_ != nullptr) {
-    stats_->engine_docs_bank.Inc();
-  } else {
-    stats_->engine_docs_soa.Inc();
+void QueryEngine::set_attribution(QueryAttribution* attr) {
+  NW_CHECK_MSG(attr != nullptr, "set_attribution() needs a table; "
+               "attribution is off by default — simply never attach one");
+  NW_CHECK_MSG(attr->num_queries() == num_queries(),
+               "attribution table sized for %zu queries attached to a "
+               "%zu-query engine; attach after registering the bank",
+               attr->num_queries(), num_queries());
+  attr_ = attr;
+}
+
+void QueryEngine::RecordDocStats(uint64_t latency_us, size_t doc_positions,
+                                 const std::vector<bool>& results) {
+  if (stats_enabled_) {
+    stats_->engine_docs.Inc();
+    stats_->engine_positions.Add(doc_positions);
+    stats_->doc_latency_us.Record(latency_us);
+    if (frozen_ != nullptr) {
+      stats_->engine_docs_frozen.Inc();
+    } else if (bank_ != nullptr) {
+      stats_->engine_docs_bank.Inc();
+    } else {
+      stats_->engine_docs_soa.Inc();
+    }
+  }
+  if (attr_ != nullptr) {
+    // The table totals mirror engine_docs/engine_positions exactly, so
+    // the rendered `queries` section can never drift from `engine`.
+    attr_->docs.Inc();
+    attr_->positions.Add(doc_positions);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i]) attr_->query(i).match_docs.Inc();
+    }
   }
 }
 
@@ -291,6 +313,17 @@ size_t QueryEngine::FeedFrozen(Kind kind, Symbol s) {
 
 void QueryEngine::LatchFromWords(const uint64_t* acc, size_t words) {
   for (size_t w = 0; w < words; ++w) {
+    if (attr_ != nullptr) {
+      // NWProf accept tally: every set bit is one "query observed
+      // accepting at this position" event (the word-parallel twin of the
+      // SoA path's per-query Accepting scan below).
+      uint64_t bits = acc[w];
+      while (bits != 0) {
+        size_t bit = static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        attr_->query(w * 64 + bit).accept_positions.Inc();
+      }
+    }
     uint64_t fresh = acc[w] & ~seen_accepts_[w];
     seen_accepts_[w] |= acc[w];
     while (fresh != 0) {
@@ -318,7 +351,16 @@ void QueryEngine::LatchMatches() {
     return;
   }
   for (size_t i = 0; i < autos_.size(); ++i) {
-    if (first_match_[i] < 0 && Accepting(i)) {
+    // The latch alone only needs Accepting() for unlatched queries; the
+    // NWProf tally observes every accepting query every position, so the
+    // short-circuit order flips when a table is attached.
+    if (attr_ != nullptr) {
+      if (!Accepting(i)) continue;
+      attr_->query(i).accept_positions.Inc();
+      if (first_match_[i] < 0) {
+        first_match_[i] = static_cast<int64_t>(stream_pos_);
+      }
+    } else if (first_match_[i] < 0 && Accepting(i)) {
       first_match_[i] = static_cast<int64_t>(stream_pos_);
     }
   }
@@ -331,11 +373,12 @@ std::vector<bool> QueryEngine::RunAll(const NestedWord& n) {
   for (const TaggedSymbol& t : n.tagged()) {
     if (Feed(t) == 0) break;  // every run dead: acceptance is settled
   }
-  if (stats_enabled_) {
+  std::vector<bool> results = Results();
+  if (stats_enabled_ || attr_ != nullptr) {
     RecordDocStats(static_cast<uint64_t>(sw.ElapsedUs()),
-                   positions_ - before);
+                   positions_ - before, results);
   }
-  return Results();
+  return results;
 }
 
 std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
@@ -349,11 +392,12 @@ std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
   while (stream.Next(&t)) {
     if (Feed(t) == 0) break;  // every run dead: acceptance is settled
   }
-  if (stats_enabled_) {
+  std::vector<bool> results = Results();
+  if (stats_enabled_ || attr_ != nullptr) {
     RecordDocStats(static_cast<uint64_t>(sw.ElapsedUs()),
-                   positions_ - before);
+                   positions_ - before, results);
   }
-  return Results();
+  return results;
 }
 
 std::vector<bool> QueryEngine::Results() const {

@@ -96,6 +96,18 @@ class QueryEngine {
   /// query results are byte-identical either way.
   void set_stats(StatsSink* sink);
 
+  /// Attaches an NWProf per-query attribution table (obs/prof.h): every
+  /// completed RunAll then increments the table's doc/position totals
+  /// (pinned to the sink's engine_docs/engine_positions) and each
+  /// accepted query's match_docs; with set_track_matches(true) the
+  /// match-latch pass additionally tallies per-query accept-set
+  /// observations (one per position the query was seen accepting, plus
+  /// the pre-input check) — identical across the SoA, bank, and frozen
+  /// paths. The table must be sized to this engine's bank (attach after
+  /// registering queries), outlive the engine, and be this engine's
+  /// private single-writer instance, exactly like the stats sink.
+  void set_attribution(QueryAttribution* attr);
+
   size_t num_queries() const;
   size_t num_symbols() const { return num_symbols_; }
 
@@ -165,9 +177,12 @@ class QueryEngine {
   }
   /// Records first-accept positions for queries newly observed accepting.
   void LatchMatches();
-  /// NWStats per-document record shared by the RunAll overloads: latency
-  /// histogram, position/document counters, and the path-taken counter.
-  void RecordDocStats(uint64_t latency_us, size_t doc_positions);
+  /// NWStats/NWProf per-document record shared by the RunAll overloads:
+  /// latency histogram, position/document counters, the path-taken
+  /// counter, and (with an attribution table) the per-query match tally
+  /// over `results`.
+  void RecordDocStats(uint64_t latency_us, size_t doc_positions,
+                      const std::vector<bool>& results);
   /// Word-parallel accept diffing shared by the bank and frozen paths.
   void LatchFromWords(const uint64_t* acc, size_t words);
   /// One stream position on the frozen path (split out of Feed).
@@ -209,6 +224,9 @@ class QueryEngine {
   StatsSink own_stats_;
   StatsSink* stats_ = &own_stats_;
   bool stats_enabled_ = false;
+  /// NWProf per-query attribution, or nullptr when off (the default) —
+  /// the same branch-on-a-constant-pointer discipline as the sink.
+  QueryAttribution* attr_ = nullptr;
 };
 
 }  // namespace nw

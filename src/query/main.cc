@@ -30,7 +30,11 @@
 //                   frozen, the aggregate serve stats with the frozen-
 //                   bank hit rate), then the NWStats registry dump —
 //                   per-layer counters, the per-document latency
-//                   histogram, and the per-shard skew view
+//                   histogram, the per-shard skew view, and the NWProf
+//                   views: per-query cost attribution (match docs,
+//                   accept observations, overflow escalations) and the
+//                   compile-phase timeline (parse → rewrite → lower →
+//                   minimize → bank_build → explore → freeze)
 //   --stats=json    same instrumentation, rendered as one stable JSON
 //                   object on the last stdout line (match lines are
 //                   unchanged; the per-document text stats are folded
@@ -38,8 +42,11 @@
 //   --quiet         suppress per-query match lines
 //
 // Setting the NWQUERY_TRACE environment variable to a file path ("-" for
-// stderr) additionally writes one JSON span line per document streamed
-// (see obs/trace.h and docs/OBSERVABILITY.md).
+// stderr) additionally writes one trace event per document streamed:
+// JSON lines by default, or — with NWQUERY_TRACE_FORMAT=chrome — a
+// Chrome Trace Event Format array loadable in Perfetto, with one track
+// per shard and per-shard counter series (see obs/trace.h and
+// docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/prof.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "opt/pipeline.h"
@@ -56,6 +64,7 @@
 #include "serve/frozen_bank.h"
 #include "serve/sharded.h"
 #include "support/rng.h"
+#include "support/stopwatch.h"
 #include "xml/xml.h"
 
 namespace {
@@ -297,7 +306,8 @@ void RenderStats(const StatsRegistry& registry, const Options& opt) {
 int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
                 size_t num_symbols, Symbol other,
                 const std::vector<std::string>& query_texts,
-                StatsRegistry* registry, Tracer* tracer) {
+                StatsRegistry* registry, Tracer* tracer,
+                CompileTimeline* timeline) {
   /// Exhaustive-exploration guard. The full product is exponential in the
   /// bank size and its return closure is |Q|·|frames|·|Σ| steps, so
   /// exhaustive freezing is for small banks; a bank that trips the cap is
@@ -316,6 +326,8 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
   if (!opt.freeze_files.empty()) {
     // Train: stream the training corpus through a single-stream engine
     // over the shared bank; its memoization IS the exploration.
+    Stopwatch explore_sw;
+    const size_t states_before = shared->num_states();
     QueryEngine trainer(num_symbols);
     trainer.set_other_symbol(other);
     trainer.AddBank(shared);
@@ -324,14 +336,19 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
       if (!ReadFile(path, &text)) return 1;
       trainer.RunAll(text, alphabet);
     }
-  } else if (!shared->ExploreAll(kFreezeStateCap)) {
+    if (timeline != nullptr) {
+      timeline->Record("explore",
+                       static_cast<uint64_t>(explore_sw.ElapsedUs()),
+                       states_before, shared->num_states());
+    }
+  } else if (!shared->ExploreAll(kFreezeStateCap, timeline)) {
     std::fprintf(stderr,
                  "nwquery: exhaustive exploration stopped at %zu product "
                  "states; serving the partial snapshot (misses fall back "
                  "to the overflow banks)\n",
                  shared->num_states());
   }
-  FrozenBank frozen = FrozenBank::Freeze(*shared);
+  FrozenBank frozen = FrozenBank::Freeze(*shared, timeline);
 
   // Materialize the corpus — same documents, same labels, same order as
   // the single-stream path.
@@ -374,12 +391,20 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
     const ServeStats& s = evaluator.stats();
     registry->SetMetaNum("frozen_states", frozen.num_states());
     if (!opt.stats_json) {
+      // A corpus that never stepped the bank (e.g. zero documents) has
+      // no meaningful hit rate; print n/a instead of a vacuous 1.0.
+      char rate[32];
+      if (s.has_traffic()) {
+        std::snprintf(rate, sizeof(rate), "%.4f", s.hit_rate());
+      } else {
+        std::snprintf(rate, sizeof(rate), "n/a");
+      }
       std::printf(
           "serve\tstats\tthreads=%zu docs=%zu positions=%zu "
           "frozen_states=%zu frozen_hits=%zu frozen_misses=%zu "
-          "hit_rate=%.4f\n",
+          "hit_rate=%s\n",
           s.threads, s.documents, s.positions, frozen.num_states(),
-          s.frozen_hits, s.frozen_misses, s.hit_rate());
+          s.frozen_hits, s.frozen_misses, rate);
     }
   }
   RenderStats(*registry, opt);
@@ -397,6 +422,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "nwquery: cannot open %s\n", opt.query_file.c_str());
     return 1;
   }
+
+  // NWProf compile timeline: phases record into it from parse through
+  // freeze; rendered as the stats "compile" section. Cheap enough to
+  // fill unconditionally for the parse phase, attached to the optimizer
+  // only under --stats (ParseOptLevel resets OptOptions wholesale, so
+  // the pointer must be set after flag parsing — which ParseArgs above
+  // has already finished).
+  CompileTimeline timeline;
+  Stopwatch parse_sw;
 
   // Phase 1: parse every query, interning element names.
   Alphabet alphabet;
@@ -422,6 +456,8 @@ int main(int argc, char** argv) {
                  opt.query_file.c_str());
     return 1;
   }
+  timeline.Record("parse", static_cast<uint64_t>(parse_sw.ElapsedUs()), 0, 0);
+  if (opt.stats) opt.opt.timeline = &timeline;
 
   // Phase 2: fix the symbol space — query names, the text pseudo-symbol,
   // and a catch-all for element names first seen inside documents — and
@@ -442,6 +478,11 @@ int main(int argc, char** argv) {
   // enabled only by the environment (NWQUERY_TRACE=file).
   StatsRegistry registry;
   std::unique_ptr<Tracer> tracer = Tracer::FromEnv();
+  // NWProf per-query attribution: the CLI's own table carries the
+  // per-query compile-size gauges; runtime counters land here on the
+  // single-stream path and in the evaluator's per-shard tables on the
+  // frozen path (the registry render merges all registered tables).
+  QueryAttribution attribution(queries.size());
   if (opt.stats) {
     registry.SetMeta("mode", opt.freeze ? "frozen" : "single");
     registry.SetMeta("opt", opt.opt_level);
@@ -449,12 +490,21 @@ int main(int argc, char** argv) {
     registry.SetMetaNum("threads", opt.threads);
     registry.SetMetaNum("states_compiled", bank.states_compiled());
     registry.SetMetaNum("states_final", bank.states_final());
+    for (size_t i = 0; i < bank.queries.size(); ++i) {
+      attribution.query(i).states_compiled.Set(
+          bank.queries[i].states_compiled);
+      attribution.query(i).states_final.Set(bank.queries[i].states_final);
+    }
+    registry.RegisterAttribution(&attribution);
+    registry.SetQueryLabels(query_texts);
+    registry.SetTimeline(&timeline);
   }
 
   // Phase 3a: frozen serving — pre-explore, snapshot, shard.
   if (opt.freeze) {
     return ServeFrozen(opt, &bank, &alphabet, num_symbols, other,
-                       query_texts, &registry, tracer.get());
+                       query_texts, &registry, tracer.get(),
+                       opt.stats ? &timeline : nullptr);
   }
 
   // Phase 3b: single stream — every document once through the whole bank.
@@ -468,6 +518,7 @@ int main(int argc, char** argv) {
   if (opt.stats) {
     registry.Register("main", &main_sink);
     engine.set_stats(&main_sink);
+    engine.set_attribution(&attribution);
     if (bank.shared != nullptr) bank.shared->set_stats(&main_sink);
   }
 

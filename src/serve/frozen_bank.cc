@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/prof.h"
 #include "obs/stats.h"
 #include "support/check.h"
+#include "support/stopwatch.h"
 
 namespace nw {
 
-FrozenBank FrozenBank::Freeze(const SharedBank& bank) {
+FrozenBank FrozenBank::Freeze(const SharedBank& bank,
+                              CompileTimeline* timeline) {
+  Stopwatch sw;
   FrozenBank f;
   f.autos_ = bank.autos();
   f.num_symbols_ = bank.num_symbols();
@@ -53,6 +57,11 @@ FrozenBank FrozenBank::Freeze(const SharedBank& bank) {
     f.return_keys_.push_back(keys[i]);
     f.return_targets_.push_back(rules[i].target);
   }
+  if (timeline != nullptr) {
+    // Freezing re-lays-out, never explores: the state count is flat.
+    timeline->Record("freeze", static_cast<uint64_t>(sw.ElapsedUs()),
+                     f.num_states_, f.num_states_);
+  }
   return f;
 }
 
@@ -81,13 +90,34 @@ void OverflowBank::set_stats(StatsSink* sink) {
   stats_ = sink;
 }
 
+void OverflowBank::set_attribution(QueryAttribution* attr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NW_CHECK_MSG(attr == nullptr ||
+                   attr->num_queries() == frozen_->num_queries(),
+               "attribution table sized for %zu queries attached to a "
+               "%zu-query overflow bank",
+               attr->num_queries(), frozen_->num_queries());
+  attr_ = attr;
+}
+
 void OverflowBank::CountStep(StateId result) {
-  if (stats_ == nullptr) return;
-  stats_->overflow_steps.Inc();
-  if (IsOverflowId(result)) {
-    stats_->overflow_escalations.Inc();
-  } else {
-    stats_->overflow_mapbacks.Inc();
+  if (stats_ != nullptr) {
+    stats_->overflow_steps.Inc();
+    if (IsOverflowId(result)) {
+      stats_->overflow_escalations.Inc();
+    } else {
+      stats_->overflow_mapbacks.Inc();
+    }
+  }
+  if (attr_ != nullptr && IsOverflowId(result)) {
+    // NWProf: charge the escalation to every query whose run is still
+    // live in the escalated state — a dead component cannot be the
+    // reason the tuple is missing from the snapshot.
+    const StateId* tuple = local_.tuple(result & ~kOverflowBit);
+    const size_t k = frozen_->num_queries();
+    for (size_t i = 0; i < k; ++i) {
+      if (tuple[i] != kNoState) attr_->query(i).escalations.Inc();
+    }
   }
 }
 

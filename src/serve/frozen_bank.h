@@ -36,6 +36,8 @@
 
 namespace nw {
 
+class QueryAttribution;  // obs/prof.h, held by pointer only
+
 /// Immutable, cache-friendly snapshot of an explored SharedBank.
 ///
 /// Invariant: every member is written once inside Freeze() and never
@@ -46,8 +48,11 @@ class FrozenBank {
  public:
   /// Snapshots `bank` as explored so far. Train first: either stream a
   /// corpus through a QueryEngine::AddBank engine, or call
-  /// bank.ExploreAll() for a coverage-complete snapshot.
-  static FrozenBank Freeze(const SharedBank& bank);
+  /// bank.ExploreAll() for a coverage-complete snapshot. With a timeline
+  /// (obs/prof.h) the call records one "freeze" phase: the snapshot's
+  /// re-layout wall µs over the bank's state count.
+  static FrozenBank Freeze(const SharedBank& bank,
+                           CompileTimeline* timeline = nullptr);
 
   size_t num_queries() const { return autos_.size(); }
   size_t num_symbols() const { return num_symbols_; }
@@ -158,6 +163,14 @@ class OverflowBank {
   /// intended deployment. Off (nullptr) by default.
   void set_stats(StatsSink* sink);
 
+  /// Attaches an NWProf attribution table (obs/prof.h): every escalation
+  /// (a step whose result stays in overflow space) then increments the
+  /// escalations counter of each query whose run is still live in the
+  /// escalated state — those queries are what keeps the shard off the
+  /// lock-free path. Same single-writer/one-per-shard deployment as the
+  /// sink; increments happen under the bank's mutex. Off by default.
+  void set_attribution(QueryAttribution* attr);
+
   // -- Steps, mirroring the engine-facing SharedBank API. `q` (and `hier`)
   // may be frozen or overflow ids; results are frozen ids whenever the
   // target tuple exists in the snapshot. --
@@ -200,6 +213,8 @@ class OverflowBank {
   size_t steps_ = 0;
   /// NWStats sink, or nullptr when observability is off (see set_stats).
   StatsSink* stats_ = nullptr;
+  /// NWProf attribution table, or nullptr (see set_attribution).
+  QueryAttribution* attr_ = nullptr;
   std::unordered_map<StateId, StateId> frozen_to_local_;
   /// Lazy local→frozen cache; kNoState entries mean "not probed yet",
   /// probed twins are either a frozen id or kOverflowBit|local.

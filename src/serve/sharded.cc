@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/prof.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "query/engine.h"
@@ -27,9 +28,13 @@ ShardedEvaluator::ShardedEvaluator(const FrozenBank* frozen,
 void ShardedEvaluator::AttachStats(StatsRegistry* registry) {
   NW_CHECK_MSG(sinks_.empty(), "AttachStats() may be called once");
   sinks_.reserve(threads_);
+  attrs_.reserve(threads_);
   for (size_t w = 0; w < threads_; ++w) {
     sinks_.push_back(std::make_unique<StatsSink>());
     registry->Register("shard/" + std::to_string(w), sinks_[w].get());
+    attrs_.push_back(
+        std::make_unique<QueryAttribution>(frozen_->num_queries()));
+    registry->RegisterAttribution(attrs_[w].get());
   }
 }
 
@@ -66,6 +71,12 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
       engine.set_stats(sink);
       overflow.set_stats(sink);
     }
+    if (!attrs_.empty()) {
+      // Shard w writes only table w, so each attribution table keeps the
+      // sinks' single-writer discipline; renders merge across shards.
+      engine.set_attribution(attrs_[shard].get());
+      overflow.set_attribution(attrs_[shard].get());
+    }
     for (;;) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= corpus.size()) break;
@@ -90,6 +101,9 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
       span.Note("shard", shard);
       span.Note("positions", r.positions);
       span.Note("bytes", corpus[i].size());
+      if (tracer_ != nullptr && sink != nullptr) {
+        tracer_->WriteCounters(shard, *sink);
+      }
     }
     hits.fetch_add(engine.frozen_hits() - hits0, std::memory_order_relaxed);
     misses.fetch_add(engine.frozen_misses() - miss0,

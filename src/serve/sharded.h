@@ -21,6 +21,7 @@
 
 namespace nw {
 
+class QueryAttribution;
 class StatsRegistry;
 class Tracer;
 
@@ -46,7 +47,13 @@ struct ServeStats {
   /// Worker threads the corpus was sharded across.
   size_t threads = 0;
 
-  /// Fraction of steps served lock-free (1.0 on a fully-explored bank).
+  /// True once any step has been classified hit-or-miss. hit_rate() is
+  /// only meaningful then; renderers print n/a (or JSON null) otherwise.
+  bool has_traffic() const { return frozen_hits + frozen_misses > 0; }
+
+  /// Fraction of steps served lock-free (1.0 on a fully-explored bank,
+  /// and — by convention, so ratio tables stay finite — on zero traffic;
+  /// gate on has_traffic() where the distinction matters).
   double hit_rate() const {
     size_t total = frozen_hits + frozen_misses;
     return total == 0 ? 1.0 : static_cast<double>(frozen_hits) / total;
@@ -90,9 +97,13 @@ class ShardedEvaluator {
   /// then on every EvaluateCorpus wires each worker's engine, tokenizer,
   /// and overflow bank to its shard's sink and additionally records the
   /// shard-loop metrics (documents and bytes pulled, busy vs. queue-wait
-  /// time). Sinks are cumulative across calls and owned by the evaluator,
-  /// which must therefore outlive any registry render. Call once, before
-  /// the first EvaluateCorpus.
+  /// time). Also creates one NWProf QueryAttribution table per shard and
+  /// registers each with the registry, so per-query match/accept/
+  /// escalation costs are attributed on the frozen path too (the
+  /// registry's render merges the shard tables). Sinks and tables are
+  /// cumulative across calls and owned by the evaluator, which must
+  /// therefore outlive any registry render. Call once, before the first
+  /// EvaluateCorpus.
   void AttachStats(StatsRegistry* registry);
 
   /// Attaches an opt-in span tracer (obs/trace.h): each document then
@@ -109,6 +120,8 @@ class ShardedEvaluator {
   ServeStats stats_;
   /// One sink per shard (see AttachStats); empty when stats are off.
   std::vector<std::unique_ptr<StatsSink>> sinks_;
+  /// One NWProf attribution table per shard, parallel to sinks_.
+  std::vector<std::unique_ptr<QueryAttribution>> attrs_;
   Tracer* tracer_ = nullptr;
 };
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "query/engine.h"
 #include "serve/sharded.h"
@@ -196,7 +197,9 @@ TEST(StatsRegistry, JsonHasTheDocumentedShape) {
        {"\"meta\"", "\"mode\":\"frozen\"", "\"queries\":7", "\"stream\"",
         "\"engine\"", "\"documents\":5", "\"doc_latency_us\"", "\"p50\"",
         "\"p99\"", "\"bank\"", "\"frozen\"", "\"hit_rate\"", "\"serve\"",
-        "\"shards\"", "\"label\":\"shard/0\"", "\"label\":\"shard/1\""}) {
+        "\"shards\"", "\"label\":\"shard/0\"", "\"label\":\"shard/1\"",
+        // NWProf sections are always present, empty when unattached.
+        "\"per_query\"", "\"compile\"", "\"total_us\"", "\"phases\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
   // Aggregation sums across the registered sinks.
@@ -204,6 +207,29 @@ TEST(StatsRegistry, JsonHasTheDocumentedShape) {
   reg.Aggregate(&agg);
   EXPECT_EQ(agg.engine_docs.value(), 5u);
   EXPECT_EQ(agg.doc_latency_us.count(), 2u);
+}
+
+TEST(StatsRegistry, FrozenHitRateIsNullWithoutTraffic) {
+  // A sink with zero frozen steps has no defined hit rate: JSON renders
+  // null, text renders n/a. (ServeStats::hit_rate() itself stays 1.0 on
+  // empty — serve callers treat "no misses" as perfect — but the report
+  // must not present a made-up number.)
+  StatsSink idle;
+  idle.engine_docs.Add(4);  // traffic elsewhere doesn't create a rate
+  StatsRegistry reg;
+  reg.Register("main", &idle);
+  EXPECT_NE(reg.RenderJson().find("\"hit_rate\":null"), std::string::npos);
+  EXPECT_NE(reg.RenderText().find("hit_rate=n/a"), std::string::npos);
+
+  StatsSink busy;
+  busy.frozen_hits.Add(3);
+  busy.frozen_misses.Add(1);
+  StatsRegistry reg2;
+  reg2.Register("main", &busy);
+  EXPECT_NE(reg2.RenderJson().find("\"hit_rate\":0.7500"),
+            std::string::npos);
+  EXPECT_EQ(reg2.RenderJson().find("\"hit_rate\":null"), std::string::npos);
+  EXPECT_EQ(reg2.RenderText().find("n/a"), std::string::npos);
 }
 
 TEST(StatsRegistry, JsonStringEscaping) {
@@ -291,6 +317,10 @@ TEST(QueryEngine, StatsOnAndOffAreByteIdentical) {
     e->Add(&wf);
     e->Add(&deep);
   }
+  // The "on" engine also carries the full NWProf attribution table — the
+  // differential guarantee covers attribution, not just the aggregates.
+  QueryAttribution attr(on.num_queries());
+  on.set_attribution(&attr);
   Rng rng(13);
   size_t oracle_positions = 0;
   for (int d = 0; d < 8; ++d) {
@@ -314,6 +344,12 @@ TEST(QueryEngine, StatsOnAndOffAreByteIdentical) {
   EXPECT_EQ(sink.engine_positions.value(), on.positions());
   EXPECT_EQ(sink.doc_latency_us.count(), 8u);
   EXPECT_EQ(sink.stream_tokens.value(), oracle_positions);
+  // Attribution totals are pinned to the engine aggregates, and the
+  // well-formedness query matched every generator document.
+  EXPECT_EQ(attr.docs.value(), sink.engine_docs.value());
+  EXPECT_EQ(attr.positions.value(), sink.engine_positions.value());
+  EXPECT_EQ(attr.query(0).match_docs.value(), 8u);
+  EXPECT_GT(attr.query(0).accept_positions.value(), 0u);
 }
 
 TEST(SplitTopLevel, StatsOverloadRecordsChunkShape) {

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""bench_diff — the bench regression watchdog.
+
+Compares a current ``bench_* --report=json`` report against a committed
+baseline and classifies every metric delta:
+
+* **structural** metrics (state counts, minimization ratios, hit rates —
+  anything deterministic across hosts) hard-fail beyond ``--tolerance``;
+  a structural drift means the code changed behavior, not that the
+  machine was noisy.
+* **timing** metrics (any key containing ``_ms``, ``speedup``, or
+  ``overhead``) warn beyond ``--timing-tolerance`` and fail only under
+  ``--fail-on-timing`` — wall-clock numbers from shared CI runners are
+  advisory, and the host fingerprint decides whether they are even
+  comparable (differing compiler/build_type/os skips timing entirely).
+
+Modes::
+
+    bench_diff.py baseline.json current.json     # compare two reports
+    bench_diff.py --trajectory BENCH_trajectory.json
+                                                 # sanity-check the log
+    bench_diff.py --selftest                     # fixture-based selftest
+
+Exit codes: 0 = clean (warnings allowed), 1 = regression, 2 = unusable
+input (missing file, mismatched bench/quick mode, bad JSON).
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_MARKERS = ("_ms", "speedup", "overhead")
+
+# Keys a report's host object must agree on before timing numbers are
+# comparable at all. hardware_threads is deliberately absent: thread
+# counts change the *_ms values but the benches sweep fixed thread grids,
+# so keys still line up and structural metrics stay comparable.
+HOST_CONFIG_KEYS = ("compiler", "build_type", "os")
+
+
+def is_timing(key):
+    return any(marker in key for marker in TIMING_MARKERS)
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    for key in ("bench", "metrics"):
+        if key not in report:
+            raise SystemExit(f"bench_diff: {path} has no '{key}' key")
+    return report
+
+
+def rel_delta(base, cur):
+    if base == 0:
+        return 0.0 if cur == 0 else float("inf")
+    return (cur - base) / abs(base)
+
+
+def compare(baseline, current, tolerance, timing_tolerance, fail_on_timing,
+            out=sys.stdout):
+    """Returns (failures, warnings) as lists of message strings."""
+    failures, warnings = [], []
+    if baseline["bench"] != current["bench"]:
+        raise SystemExit(
+            f"bench_diff: bench mismatch: baseline is "
+            f"{baseline['bench']!r}, current is {current['bench']!r}")
+    if baseline.get("quick") != current.get("quick"):
+        raise SystemExit(
+            "bench_diff: quick-mode mismatch: compare quick runs with "
+            "quick baselines (and full with full)")
+
+    base_host = baseline.get("host", {})
+    cur_host = current.get("host", {})
+    host_mismatch = [
+        k for k in HOST_CONFIG_KEYS
+        if base_host.get(k) != cur_host.get(k)
+    ]
+    timing_comparable = not host_mismatch
+    if host_mismatch:
+        warnings.append(
+            "host fingerprint differs on {}: timing metrics skipped "
+            "(baseline {}, current {})".format(
+                ",".join(host_mismatch),
+                {k: base_host.get(k) for k in host_mismatch},
+                {k: cur_host.get(k) for k in host_mismatch}))
+
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    for key in sorted(set(base_metrics) | set(cur_metrics)):
+        if key not in cur_metrics:
+            failures.append(f"metric disappeared: {key}")
+            continue
+        if key not in base_metrics:
+            warnings.append(f"new metric (no baseline): {key}")
+            continue
+        base, cur = base_metrics[key], cur_metrics[key]
+        delta = rel_delta(base, cur)
+        if is_timing(key):
+            if not timing_comparable:
+                continue
+            if abs(delta) > timing_tolerance:
+                msg = (f"timing {key}: {base:.4f} -> {cur:.4f} "
+                       f"({delta:+.1%}, tolerance {timing_tolerance:.0%})")
+                (failures if fail_on_timing else warnings).append(msg)
+        else:
+            if abs(delta) > tolerance:
+                failures.append(
+                    f"structural {key}: {base:.4f} -> {cur:.4f} "
+                    f"({delta:+.1%}, tolerance {tolerance:.2%})")
+
+    for msg in warnings:
+        print(f"bench_diff: WARN {msg}", file=out)
+    for msg in failures:
+        print(f"bench_diff: FAIL {msg}", file=out)
+    if not failures and not warnings:
+        print(f"bench_diff: OK {current['bench']}: "
+              f"{len(cur_metrics)} metrics within tolerance", file=out)
+    return failures, warnings
+
+
+def check_trajectory(path, out=sys.stdout):
+    """Structural sanity of the append-only trajectory log: every entry
+    carries pr/host/benches, prs are non-decreasing, metric values are
+    numbers. Returns failure messages."""
+    try:
+        with open(path) as f:
+            traj = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    failures = []
+    entries = traj.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return [f"{path}: no entries array"]
+    last_pr = None
+    for i, entry in enumerate(entries):
+        where = f"entries[{i}]"
+        for key in ("pr", "host", "benches"):
+            if key not in entry:
+                failures.append(f"{where}: missing '{key}'")
+        pr = entry.get("pr")
+        if last_pr is not None and isinstance(pr, int) and pr < last_pr:
+            failures.append(f"{where}: pr {pr} < preceding pr {last_pr} "
+                            "(the log is append-only)")
+        if isinstance(pr, int):
+            last_pr = pr
+        for bench, metrics in entry.get("benches", {}).items():
+            if not isinstance(metrics, dict):
+                failures.append(f"{where}: {bench} metrics not an object")
+                continue
+            for k, v in metrics.items():
+                if not isinstance(v, (int, float)):
+                    failures.append(f"{where}: {bench}.{k} is not numeric")
+    for msg in failures:
+        print(f"bench_diff: FAIL {msg}", file=out)
+    if not failures:
+        print(f"bench_diff: OK {path}: {len(entries)} entries", file=out)
+    return failures
+
+
+def selftest():
+    """Fixture-based check of the comparison logic itself, run by ctest."""
+    import io
+
+    def report(**over):
+        r = {
+            "bench": "bench_fixture", "quick": True,
+            "host": {"hardware_threads": 1, "compiler": "gcc",
+                     "compiler_version": "x", "build_type": "RelWithDebInfo",
+                     "os": "linux"},
+            "metrics": {"batched_ms@4096": 1.0, "batched_speedup@4096": 6.4,
+                        "minimization_ratio": 0.5714,
+                        "stats_overhead_ratio": 1.01},
+        }
+        for k, v in over.items():
+            if k in ("bench", "quick"):
+                r[k] = v
+            elif k == "host":
+                r["host"] = {**r["host"], **v}
+            else:
+                r["metrics"] = {**r["metrics"], k: v}
+        return r
+
+    checks = 0
+
+    def expect(cond, what):
+        nonlocal checks
+        checks += 1
+        if not cond:
+            raise SystemExit(f"bench_diff --selftest: FAILED: {what}")
+
+    sink = io.StringIO()
+    base = report()
+
+    f, w = compare(base, report(), 0.001, 0.25, False, out=sink)
+    expect(not f and not w, "identical reports must be clean")
+
+    # Structural drift beyond tolerance hard-fails; timing drift warns.
+    f, w = compare(base, report(minimization_ratio=0.9), 0.001, 0.25, False,
+                   out=sink)
+    expect(f, "structural drift must fail")
+    f, w = compare(base, report(**{"batched_ms@4096": 2.0}), 0.001, 0.25,
+                   False, out=sink)
+    expect(not f and w, "timing drift must warn, not fail, by default")
+    f, w = compare(base, report(**{"batched_ms@4096": 2.0}), 0.001, 0.25,
+                   True, out=sink)
+    expect(f, "--fail-on-timing must promote timing drift to failure")
+
+    # Small timing wobble stays inside the default timing tolerance.
+    f, w = compare(base, report(**{"batched_ms@4096": 1.1}), 0.001, 0.25,
+                   False, out=sink)
+    expect(not f and not w, "10% timing wobble must be clean")
+
+    # Cross-config hosts: timing is skipped (warn), structural still bites.
+    other_host = report(host={"compiler": "clang"},
+                        **{"batched_ms@4096": 50.0})
+    f, w = compare(base, other_host, 0.001, 0.25, False, out=sink)
+    expect(not f and w, "cross-config timing must be skipped with a warning")
+    other_host = report(host={"compiler": "clang"}, minimization_ratio=0.9)
+    f, w = compare(base, other_host, 0.001, 0.25, False, out=sink)
+    expect(f, "structural drift must fail even across configs")
+
+    # A vanished metric is structural breakage.
+    gone = report()
+    del gone["metrics"]["minimization_ratio"]
+    f, w = compare(base, gone, 0.001, 0.25, False, out=sink)
+    expect(f, "a disappeared metric must fail")
+    f, w = compare(base, report(new_metric=1.0), 0.001, 0.25, False, out=sink)
+    expect(not f and w, "a new metric must warn only")
+
+    # Mismatched bench names / quick modes are unusable input (exit 2).
+    for bad in (report(bench="bench_other"), report(quick=False)):
+        try:
+            compare(base, bad, 0.001, 0.25, False, out=sink)
+            expect(False, "mismatched reports must be rejected")
+        except SystemExit as e:
+            expect(isinstance(e.code, str) and "mismatch" in e.code,
+                   "mismatch must exit with a message")
+
+    print(f"bench_diff --selftest: OK ({checks} checks)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Compare bench --report=json output against a baseline.")
+    parser.add_argument("reports", nargs="*",
+                        help="baseline.json current.json")
+    parser.add_argument("--tolerance", type=float, default=0.001,
+                        help="relative tolerance for structural metrics "
+                             "(default 0.1%%)")
+    parser.add_argument("--timing-tolerance", type=float, default=0.25,
+                        help="relative tolerance for timing metrics "
+                             "(default 25%%)")
+    parser.add_argument("--fail-on-timing", action="store_true",
+                        help="treat timing drift beyond tolerance as "
+                             "failure instead of warning")
+    parser.add_argument("--trajectory", metavar="FILE",
+                        help="sanity-check a BENCH_trajectory.json log "
+                             "instead of diffing two reports")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in fixture selftest")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if args.trajectory:
+        return 1 if check_trajectory(args.trajectory) else 0
+    if len(args.reports) != 2:
+        parser.error("expected exactly two reports: baseline.json "
+                     "current.json")
+    baseline = load_report(args.reports[0])
+    current = load_report(args.reports[1])
+    failures, _ = compare(baseline, current, args.tolerance,
+                          args.timing_tolerance, args.fail_on_timing)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
