@@ -10,14 +10,18 @@
 #include <string>
 #include <vector>
 
+#include "json/json.h"
 #include "obs/bench_report.h"
 #include "obs/prof.h"
 #include "obs/stats.h"
 #include "query/compile.h"
 #include "query/engine.h"
 #include "query/nwquery.h"
+#include "stream/token_stream.h"
+#include "stream/tree_gen.h"
 #include "support/stopwatch.h"
 #include "support/table.h"
+#include "trace/trace.h"
 #include "xml/xml.h"
 
 namespace {
@@ -229,12 +233,100 @@ void MemoryTable(const BenchConfig& cfg, BenchReport* report) {
   if (cfg.print()) t.Print();
 }
 
+/// One tokenizer pass over a document, counting tokens. The local
+/// alphabet copy mirrors what QueryEngine::RunAll does per document,
+/// so the measured cost includes the interning traffic a real
+/// ingestion pays.
+template <typename Stream>
+size_t CountTokens(const std::string& text, const Alphabet& base) {
+  Alphabet local = base;
+  Stream stream(text, &local);
+  TaggedSymbol t;
+  size_t n = 0;
+  while (stream.Next(&t)) ++n;
+  return n;
+}
+
+/// NWMulti front-end comparison: one random forest rendered as XML,
+/// JSON, and a program trace, tokenized by each front end. The three
+/// renderings produce byte-for-byte identical token streams (that is
+/// the differential-test invariant), so the token counts must agree —
+/// reported as format_token_parity, a structural metric the bench
+/// watchdog hard-checks. The per-format timings are host-dependent
+/// and ride along warn-only.
+void IngestTable(const BenchConfig& cfg, BenchReport* report) {
+  Table t("E-QUERY: ingestion throughput — one forest, three front ends");
+  t.Header({"positions", "format", "bytes", "tokens", "ingest_ms", "MB/s"});
+  std::vector<size_t> sizes{1u << 12, 1u << 16};
+  if (cfg.quick) sizes = {1u << 12};
+  Alphabet base;
+  base.Intern("a");
+  base.Intern("b");
+  base.Intern("c");
+  base.Intern("d");
+  bool parity = true;
+  for (size_t positions : sizes) {
+    Rng rng(11);
+    std::vector<TreeNode> forest =
+        RandomForest(&rng, {"a", "b", "c", "d"}, positions, 24);
+    struct Rendering {
+      const char* label;
+      std::string text;
+      size_t (*count)(const std::string&, const Alphabet&);
+    };
+    const Rendering renderings[] = {
+        {"xml", RenderXml(forest), &CountTokens<XmlTokenStream>},
+        {"json", RenderJson(forest), &CountTokens<JsonTokenStream>},
+        {"trace", RenderTrace(forest), &CountTokens<TraceTokenStream>},
+    };
+    const int kReps = cfg.quick ? 3 : 9;
+    size_t xml_tokens = 0;
+    double xml_ms = 0;
+    for (const Rendering& r : renderings) {
+      size_t tokens = r.count(r.text, base);
+      double best_ms = 1e300;
+      for (int i = 0; i < kReps; ++i) {
+        Stopwatch sw;
+        benchmark::DoNotOptimize(r.count(r.text, base));
+        best_ms = std::min(best_ms, sw.ElapsedMs());
+      }
+      double mbs = best_ms > 0
+                       ? r.text.size() / (best_ms * 1e3)  // bytes/us == MB/s
+                       : 0.0;
+      t.Row({Table::Num(positions), r.label, Table::Num(r.text.size()),
+             Table::Num(tokens), Table::Dbl(best_ms, 3), Table::Dbl(mbs, 1)});
+      std::string suffix = "@" + std::to_string(positions);
+      report->Metric(std::string(r.label) + "_ingest_ms" + suffix, best_ms);
+      if (r.label == renderings[0].label) {
+        xml_tokens = tokens;
+        xml_ms = best_ms;
+      } else {
+        parity = parity && tokens == xml_tokens;
+        if (std::string(r.label) == "json") {
+          report->Metric("json_vs_xml_ingest_speedup" + suffix,
+                         best_ms > 0 ? xml_ms / best_ms : 0.0);
+        }
+      }
+      // The forest is seeded, so the token count is a build-independent
+      // structural metric: any front-end mapping change shows up here.
+      if (r.label == renderings[0].label) {
+        report->Metric("ingest_tokens" + suffix,
+                       static_cast<double>(tokens));
+      }
+    }
+  }
+  NW_CHECK_MSG(parity, "front ends disagree on the shared forest");
+  report->Metric("format_token_parity", parity ? 1.0 : 0.0);
+  if (cfg.print()) t.Print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchConfig cfg = ParseBenchConfig(&argc, argv);
   BenchReport report("bench_query_engine");
   SpeedupTable(cfg, &report);
+  IngestTable(cfg, &report);
   MemoryTable(cfg, &report);
   StatsOverheadTable(cfg, &report);
   if (cfg.report_json) {

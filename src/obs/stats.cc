@@ -14,6 +14,9 @@ void StatsSink::MergeFrom(const StatsSink& other) {
   stream_returns.MergeFrom(other.stream_returns);
   stream_internals.MergeFrom(other.stream_internals);
   stream_depth_hwm.MergeMaxFrom(other.stream_depth_hwm);
+  stream_docs_xml.MergeFrom(other.stream_docs_xml);
+  stream_docs_json.MergeFrom(other.stream_docs_json);
+  stream_docs_trace.MergeFrom(other.stream_docs_trace);
   engine_docs.MergeFrom(other.engine_docs);
   engine_positions.MergeFrom(other.engine_positions);
   engine_docs_soa.MergeFrom(other.engine_docs_soa);
@@ -218,7 +221,12 @@ std::string StatsRegistry::RenderJson() const {
   Field(&out, &first, "returns", agg.stream_returns.value());
   Field(&out, &first, "internals", agg.stream_internals.value());
   Field(&out, &first, "depth_hwm", agg.stream_depth_hwm.value());
-  out += "},";
+  out += ",\"format\":{";
+  bool ff = true;
+  Field(&out, &ff, "xml", agg.stream_docs_xml.value());
+  Field(&out, &ff, "json", agg.stream_docs_json.value());
+  Field(&out, &ff, "trace", agg.stream_docs_trace.value());
+  out += "}},";
   // engine
   AppendJsonString(&out, "engine");
   out += ":{";
@@ -362,10 +370,13 @@ std::string StatsRegistry::RenderText() const {
   std::snprintf(buf, sizeof(buf),
                 "stream   bytes=%" PRIu64 " tokens=%" PRIu64 " calls=%" PRIu64
                 " returns=%" PRIu64 " internals=%" PRIu64
-                " depth_hwm=%" PRIu64 "\n",
+                " depth_hwm=%" PRIu64 " docs_xml=%" PRIu64
+                " docs_json=%" PRIu64 " docs_trace=%" PRIu64 "\n",
                 agg.stream_bytes.value(), agg.stream_tokens.value(),
                 agg.stream_calls.value(), agg.stream_returns.value(),
-                agg.stream_internals.value(), agg.stream_depth_hwm.value());
+                agg.stream_internals.value(), agg.stream_depth_hwm.value(),
+                agg.stream_docs_xml.value(), agg.stream_docs_json.value(),
+                agg.stream_docs_trace.value());
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "engine   documents=%" PRIu64 " positions=%" PRIu64

@@ -30,13 +30,18 @@ namespace nw {
 /// layer never touches another layer's group, so one sink can be handed
 /// to the tokenizer, the engine, the banks, and the shard loop at once.
 struct StatsSink {
-  // -- xml layer: XmlTokenStream (flushed once per stream, see xml.h). --
+  // -- stream layer: the TokenStream front ends (XmlTokenStream,
+  // JsonTokenStream, TraceTokenStream), flushed once per stream by the
+  // shared StreamTally (stream/token_stream.h). --
   Counter stream_bytes;      ///< document bytes consumed by tokenization
   Counter stream_tokens;     ///< tagged positions yielded
-  Counter stream_calls;      ///< open tags (call positions)
-  Counter stream_returns;    ///< close tags (return positions)
-  Counter stream_internals;  ///< text chunks (internal positions)
+  Counter stream_calls;      ///< call positions (open tags / containers)
+  Counter stream_returns;    ///< return positions (close tags / containers)
+  Counter stream_internals;  ///< internal positions (text chunks / events)
   Gauge stream_depth_hwm;    ///< call/return depth high-water mark
+  Counter stream_docs_xml;   ///< streams tokenized by the XML front end
+  Counter stream_docs_json;  ///< streams tokenized by the JSON front end
+  Counter stream_docs_trace; ///< streams tokenized by the trace front end
 
   // -- query layer: QueryEngine, per completed RunAll document. --
   Counter engine_docs;         ///< documents streamed to completion

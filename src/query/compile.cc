@@ -3,6 +3,7 @@
 #include "nwa/determinize.h"
 #include "nwa/language_ops.h"
 #include "support/check.h"
+#include "trace/trace.h"
 #include "wordauto/dfa.h"
 #include "wordauto/regex.h"
 #include "xml/xml.h"
@@ -87,6 +88,9 @@ Nwa CompileAtom(const Query& q, size_t num_symbols) {
       return PatternOrderQuery(q.names(), num_symbols);
     case Query::Op::kMinDepth:
       return MinDepthQuery(q.min_depth(), num_symbols);
+    case Query::Op::kBalanced:
+      for (Symbol s : q.names()) NW_CHECK(s < num_symbols);
+      return BalancedFrameQuery(q.names()[0], q.names()[1], num_symbols);
     default:
       NW_CHECK_MSG(false, "not an atom");
       __builtin_unreachable();

@@ -1,9 +1,11 @@
 #include "query/engine.h"
 
+#include "json/json.h"
 #include "opt/bank.h"
 #include "serve/frozen_bank.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
+#include "trace/trace.h"
 
 namespace nw {
 
@@ -381,12 +383,13 @@ std::vector<bool> QueryEngine::RunAll(const NestedWord& n) {
   return results;
 }
 
-std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
-                                      Alphabet* alphabet) {
+template <typename Stream>
+std::vector<bool> QueryEngine::RunStream(const std::string& text,
+                                         Alphabet* alphabet) {
   Stopwatch sw;
   const size_t before = positions_;
   BeginStream();
-  XmlTokenStream stream(xml_text, alphabet);
+  Stream stream(text, alphabet);
   if (stats_enabled_) stream.set_stats(stats_);
   TaggedSymbol t;
   while (stream.Next(&t)) {
@@ -398,6 +401,26 @@ std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
                    positions_ - before, results);
   }
   return results;
+}
+
+std::vector<bool> QueryEngine::RunAll(const std::string& xml_text,
+                                      Alphabet* alphabet) {
+  return RunStream<XmlTokenStream>(xml_text, alphabet);
+}
+
+std::vector<bool> QueryEngine::RunAll(const std::string& text,
+                                      Alphabet* alphabet,
+                                      InputFormat format) {
+  switch (format) {
+    case InputFormat::kXml:
+      return RunStream<XmlTokenStream>(text, alphabet);
+    case InputFormat::kJson:
+      return RunStream<JsonTokenStream>(text, alphabet);
+    case InputFormat::kTrace:
+      return RunStream<TraceTokenStream>(text, alphabet);
+  }
+  NW_CHECK_MSG(false, "unreachable: unknown input format");
+  return {};
 }
 
 std::vector<bool> QueryEngine::Results() const {

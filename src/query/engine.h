@@ -33,6 +33,7 @@
 #include "nw/nested_word.h"
 #include "nwa/nwa.h"
 #include "obs/stats.h"
+#include "stream/token_stream.h"
 #include "xml/xml.h"
 
 namespace nw {
@@ -139,6 +140,12 @@ class QueryEngine {
   /// `*alphabet` (remapped via set_other_symbol when out of range).
   std::vector<bool> RunAll(const std::string& xml_text, Alphabet* alphabet);
 
+  /// Same, selecting the front end by format (stream/token_stream.h).
+  /// Tokenization is the ONLY thing that varies: past the TokenStream
+  /// every format takes the identical SoA/bank/frozen stepping code.
+  std::vector<bool> RunAll(const std::string& text, Alphabet* alphabet,
+                           InputFormat format);
+
   /// Frozen-path steps answered by the immutable snapshot (lock-free).
   /// Lives in the attached stats sink (the engine-internal one when none
   /// was attached), so the serving layer reads one source of truth.
@@ -187,6 +194,11 @@ class QueryEngine {
   void LatchFromWords(const uint64_t* acc, size_t words);
   /// One stream position on the frozen path (split out of Feed).
   size_t FeedFrozen(Kind kind, Symbol s);
+  /// The streaming RunAll body, templated over the TokenStream concept
+  /// (stream/token_stream.h) — the seam that keeps the engine free of
+  /// per-format forks.
+  template <typename Stream>
+  std::vector<bool> RunStream(const std::string& text, Alphabet* alphabet);
   /// Per-query acceptance of the stream fed so far.
   std::vector<bool> Results() const;
 

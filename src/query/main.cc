@@ -1,6 +1,7 @@
-// nwquery — streaming NWQuery evaluation over XML documents.
+// nwquery — streaming NWQuery evaluation over XML, JSON, or program-trace
+// documents.
 //
-//   nwquery [options] <query-file> [xml-file ...]
+//   nwquery [options] <query-file> [doc-file ...]
 //
 // The query file holds one NWQuery per line ('#' starts a comment). All
 // queries are compiled to deterministic NWAs up front, run through the
@@ -13,6 +14,10 @@
 // Options:
 //   --opt LEVEL     optimizer level: none | rewrite | min | bank | all
 //                   (default all; --opt=LEVEL also accepted)
+//   --format F      input front end: xml (default) | json | trace — the
+//                   tokenizer is the ONLY thing the flag changes; query
+//                   compilation, the optimizer, sharding, and stats are
+//                   format-blind (stream/token_stream.h)
 //   --threads N     shard the documents across N worker threads over a
 //                   frozen bank (implies --freeze; requires an --opt level
 //                   that builds the shared bank: bank or all)
@@ -63,6 +68,8 @@
 #include "query/nwquery.h"
 #include "serve/frozen_bank.h"
 #include "serve/sharded.h"
+#include "stream/token_stream.h"
+#include "stream/tree_gen.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
 #include "xml/xml.h"
@@ -76,6 +83,7 @@ struct Options {
   std::vector<std::string> xml_files;
   OptOptions opt = OptOptions::All();
   std::string opt_level = "all";
+  InputFormat format = InputFormat::kXml;
   size_t threads = 1;
   bool freeze = false;
   std::vector<std::string> freeze_files;
@@ -91,6 +99,7 @@ struct Options {
 int Usage() {
   std::fprintf(stderr,
                "usage: nwquery [--opt none|rewrite|min|bank|all] "
+               "[--format xml|json|trace] "
                "[--threads N] [--freeze[=train.xml,...]] [--random N] "
                "[--positions P] [--depth D] [--seed S] [--stats[=json]] "
                "[--quiet] <query-file> [xml-file ...]\n");
@@ -142,6 +151,24 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->opt_level = level;
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      std::string name;
+      if (arg == "--format") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "nwquery: --format needs a value\n");
+          return false;
+        }
+        name = argv[++i];
+      } else {
+        name = arg.substr(std::strlen("--format="));
+      }
+      if (!ParseInputFormat(name, &opt->format)) {
+        std::fprintf(stderr,
+                     "nwquery: unknown --format '%s' (want xml, json, or "
+                     "trace)\n",
+                     name.c_str());
+        return false;
+      }
     } else if (arg == "--threads") {
       if (!value(&v)) return false;
       if (v == 0) {
@@ -239,6 +266,22 @@ Alphabet GeneratorAlphabet(const Alphabet& alphabet, size_t num_symbols) {
   return gen;
 }
 
+/// One random document in the chosen front end's concrete syntax. XML
+/// keeps the established RandomXmlDocument generator (its byte stream is
+/// pinned by baselines); JSON and traces render a random format-agnostic
+/// tree (stream/tree_gen.h).
+std::string RandomDocument(Rng* rng, const Alphabet& gen, const Options& opt) {
+  if (opt.format == InputFormat::kXml) {
+    return RandomXmlDocument(rng, gen, opt.positions, opt.depth);
+  }
+  std::vector<std::string> names;
+  for (Symbol s = 0; s < gen.size(); ++s) names.push_back(gen.Name(s));
+  std::vector<TreeNode> forest =
+      RandomForest(rng, names, opt.positions, opt.depth);
+  return opt.format == InputFormat::kJson ? RenderJson(forest)
+                                          : RenderTrace(forest);
+}
+
 /// Per-query match lines for one document (shared by the single-stream
 /// and sharded paths so their outputs stay byte-identical).
 void PrintMatchLines(const std::string& label, const std::vector<bool>& hits,
@@ -264,7 +307,7 @@ void EvaluateDocument(const std::string& label, const std::string& text,
                       const Options& opt, Tracer* tracer) {
   TraceSpan span(tracer, "doc", label);
   size_t positions_before = engine->positions();
-  std::vector<bool> results = engine->RunAll(text, alphabet);
+  std::vector<bool> results = engine->RunAll(text, alphabet, opt.format);
   size_t doc_positions = engine->positions() - positions_before;
   size_t matched = 0;
   for (bool hit : results) matched += hit;
@@ -334,7 +377,7 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
     for (const std::string& path : opt.freeze_files) {
       std::string text;
       if (!ReadFile(path, &text)) return 1;
-      trainer.RunAll(text, alphabet);
+      trainer.RunAll(text, alphabet, opt.format);
     }
     if (timeline != nullptr) {
       timeline->Record("explore",
@@ -365,11 +408,12 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
     Rng rng(opt.seed);
     for (size_t d = 0; d < opt.random_docs; ++d) {
       labels.push_back("random[" + std::to_string(d) + "]");
-      corpus.push_back(RandomXmlDocument(&rng, gen, opt.positions, opt.depth));
+      corpus.push_back(RandomDocument(&rng, gen, opt));
     }
   }
 
-  ShardedEvaluator evaluator(&frozen, num_symbols, other, opt.threads);
+  ShardedEvaluator evaluator(&frozen, num_symbols, other, opt.threads,
+                             opt.format);
   if (opt.stats) evaluator.AttachStats(registry);
   evaluator.set_tracer(tracer);
   std::vector<DocResult> results =
@@ -486,6 +530,7 @@ int main(int argc, char** argv) {
   if (opt.stats) {
     registry.SetMeta("mode", opt.freeze ? "frozen" : "single");
     registry.SetMeta("opt", opt.opt_level);
+    registry.SetMeta("format", InputFormatName(opt.format));
     registry.SetMetaNum("queries", bank.queries.size());
     registry.SetMetaNum("threads", opt.threads);
     registry.SetMetaNum("states_compiled", bank.states_compiled());
@@ -533,8 +578,7 @@ int main(int argc, char** argv) {
     Alphabet gen = GeneratorAlphabet(alphabet, num_symbols);
     Rng rng(opt.seed);
     for (size_t d = 0; d < opt.random_docs; ++d) {
-      std::string text =
-          RandomXmlDocument(&rng, gen, opt.positions, opt.depth);
+      std::string text = RandomDocument(&rng, gen, opt);
       EvaluateDocument("random[" + std::to_string(d) + "]", text,
                        query_texts, &alphabet, &engine, opt, tracer.get());
     }

@@ -13,7 +13,8 @@ bool IsNameChar(char c) {
 }
 
 bool IsKeyword(const std::string& s) {
-  return s == "and" || s == "or" || s == "not" || s == "then" || s == "depth";
+  return s == "and" || s == "or" || s == "not" || s == "then" ||
+         s == "depth" || s == "balanced";
 }
 
 /// Token stream over the concrete syntax. Token kinds are distinguished
@@ -154,6 +155,19 @@ struct Parser {
       lex.Advance();
       return Query::MinDepth(k);
     }
+    if (lex.Eat("balanced")) {
+      if (!lex.IsName()) {
+        return lex.ErrorAt("expected event name after 'balanced'");
+      }
+      Symbol a = alphabet->Intern(lex.tok);
+      lex.Advance();
+      if (!lex.IsName()) {
+        return lex.ErrorAt("expected second event name after 'balanced'");
+      }
+      Symbol b = alphabet->Intern(lex.tok);
+      lex.Advance();
+      return Query::Balanced(a, b);
+    }
     if (lex.IsName()) return ParseOrder();
     if (lex.AtEnd()) return lex.ErrorAt("unexpected end of query");
     return lex.ErrorAt("unexpected token '" + lex.tok + "'");
@@ -248,6 +262,10 @@ void Format(const Query& q, const Alphabet& alphabet, int parent_prec,
     case Query::Op::kMinDepth:
       *out += "depth >= " + std::to_string(q.min_depth());
       break;
+    case Query::Op::kBalanced:
+      *out += "balanced " + alphabet.Name(q.names()[0]) + " " +
+              alphabet.Name(q.names()[1]);
+      break;
     case Query::Op::kAnd:
       Format(q.left(), alphabet, prec, out);
       *out += " and ";
@@ -301,6 +319,15 @@ Query Query::MinDepth(size_t k) {
   auto n = std::make_shared<Node>();
   n->op = Op::kMinDepth;
   n->depth = k;
+  return Query(std::move(n));
+}
+
+Query Query::Balanced(Symbol a, Symbol b) {
+  NW_CHECK_MSG(a != Alphabet::kNoSymbol && b != Alphabet::kNoSymbol,
+               "balanced query needs two real event symbols");
+  auto n = std::make_shared<Node>();
+  n->op = Op::kBalanced;
+  n->names = {a, b};
   return Query(std::move(n));
 }
 

@@ -10,11 +10,12 @@
 //   or     := and ("or" and)*
 //   and    := unary ("and" unary)*
 //   unary  := "not" unary | "(" query ")" | atom
-//   atom   := path | order | guard
+//   atom   := path | order | guard | balanced
 //   path   := ("/" | "//") step (("/" | "//") step)*
 //   step   := NAME | "*"
 //   order  := NAME "then" NAME ("then" NAME)*
 //   guard  := "depth" ">=" INT
+//   balanced := "balanced" NAME NAME
 //
 // Semantics over a tagged stream (open tag = call, close tag = return,
 // text = internal):
@@ -23,13 +24,19 @@
 //   /a//b/*  structural mix: child, descendant, and wildcard steps
 //   a then b an open tag `a` precedes an open tag `b` in document order
 //   depth>=k the nesting depth of open elements reaches k
+//   balanced a b
+//            every internal event `a` is matched by an internal `b`
+//            within its enclosing call frame (trace/trace.h) — a
+//            stack-sensitive safety property aimed at the trace front
+//            end, where internal events carry their own symbols
 // Boolean operators combine sub-queries; `not` binds tightest, then
 // `and`, then `or`. Malformed documents are first-class: a close tag
 // always closes the innermost open element (regardless of name), and a
 // stray close at top level leaves the context at the root.
 //
 // NAME tokens are interned into the caller's Alphabet; the keywords
-// (and, or, not, then, depth) are reserved and cannot name elements.
+// (and, or, not, then, depth, balanced) are reserved and cannot name
+// elements.
 #ifndef NW_QUERY_NWQUERY_H_
 #define NW_QUERY_NWQUERY_H_
 
@@ -66,6 +73,7 @@ class Query {
     kPath,      ///< /a//b/* — structural path from the root
     kOrder,     ///< a then b then c — open tags in document order
     kMinDepth,  ///< depth >= k
+    kBalanced,  ///< balanced a b — frame-local a/b event discipline
     kAnd,
     kOr,
     kNot,
@@ -87,6 +95,9 @@ class Query {
   static Query Order(std::vector<Symbol> names);
   /// Depth guard `depth >= k`.
   static Query MinDepth(size_t k);
+  /// Balanced atom `balanced a b` (names = {a, b}; trace/trace.h has the
+  /// full automaton semantics).
+  static Query Balanced(Symbol a, Symbol b);
   static Query And(Query l, Query r);
   static Query Or(Query l, Query r);
   static Query Not(Query q);
@@ -115,7 +126,8 @@ class Query {
 
   bool is_atom() const {
     return node_->op == Op::kPath || node_->op == Op::kOrder ||
-           node_->op == Op::kMinDepth || node_->op == Op::kPathSet;
+           node_->op == Op::kMinDepth || node_->op == Op::kPathSet ||
+           node_->op == Op::kBalanced;
   }
 
   /// Structural equality (same tree shape and payloads).

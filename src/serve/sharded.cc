@@ -3,23 +3,26 @@
 #include <atomic>
 #include <thread>
 
+#include "json/json.h"
 #include "obs/prof.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "query/engine.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
+#include "trace/trace.h"
 #include "xml/xml.h"
 
 namespace nw {
 
 ShardedEvaluator::ShardedEvaluator(const FrozenBank* frozen,
                                    size_t num_symbols, Symbol other_symbol,
-                                   size_t threads)
+                                   size_t threads, InputFormat format)
     : frozen_(frozen),
       num_symbols_(num_symbols),
       other_(other_symbol),
-      threads_(threads) {
+      threads_(threads),
+      format_(format) {
   NW_CHECK_MSG(threads >= 1, "sharded evaluation needs at least one thread");
   NW_CHECK_MSG(frozen->num_symbols() == num_symbols,
                "frozen bank symbol space mismatch");
@@ -84,7 +87,7 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
       TraceSpan span(tracer_, "doc", "corpus/" + std::to_string(i));
       size_t before = engine.positions();
       DocResult& r = results[i];
-      r.accept = engine.RunAll(corpus[i], &local_alphabet);
+      r.accept = engine.RunAll(corpus[i], &local_alphabet, format_);
       r.positions = engine.positions() - before;
       if (track_matches) {
         r.first_match.resize(engine.num_queries());
@@ -133,18 +136,21 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
   return results;
 }
 
-std::vector<std::string> SplitTopLevel(const std::string& xml) {
-  // Driven by the real tokenizer (XmlTokenStream::pos() exposes token
-  // byte boundaries), so a chunk boundary can never fall inside a
-  // construct the tokenizer treats as one token and the two can never
-  // drift. Depth is tracked from the token kinds exactly as an engine
-  // would: calls push, returns pop (clamped — a stray close at top level
-  // becomes its own chunk). A boundary is cut whenever a return leaves
-  // the stream at depth 0; top-level text attaches to the FOLLOWING
-  // element's chunk.
+namespace {
+
+// Driven by the real tokenizer (the TokenStream's pos() exposes token
+// byte boundaries), so a chunk boundary can never fall inside a
+// construct the tokenizer treats as one token and the two can never
+// drift. Depth is tracked from the token kinds exactly as an engine
+// would: calls push, returns pop (clamped — a stray close at top level
+// becomes its own chunk). A boundary is cut whenever a return leaves
+// the stream at depth 0; top-level text attaches to the FOLLOWING
+// element's chunk.
+template <typename Stream>
+std::vector<std::string> SplitWithStream(const std::string& text) {
   std::vector<std::string> out;
   Alphabet scratch;
-  XmlTokenStream stream(xml, &scratch);
+  Stream stream(text, &scratch);
   TaggedSymbol t;
   size_t chunk_start = 0;
   size_t depth = 0;
@@ -156,7 +162,7 @@ std::vector<std::string> SplitTopLevel(const std::string& xml) {
       case Kind::kReturn:
         if (depth > 0) --depth;
         if (depth == 0) {
-          out.push_back(xml.substr(chunk_start, stream.pos() - chunk_start));
+          out.push_back(text.substr(chunk_start, stream.pos() - chunk_start));
           chunk_start = stream.pos();
         }
         break;
@@ -165,17 +171,42 @@ std::vector<std::string> SplitTopLevel(const std::string& xml) {
     }
   }
   // Trailing top-level text and unclosed opens spill into a final chunk.
-  if (chunk_start < xml.size()) out.push_back(xml.substr(chunk_start));
-  if (out.empty()) out.push_back(xml);
+  if (chunk_start < text.size()) out.push_back(text.substr(chunk_start));
+  if (out.empty()) out.push_back(text);
   return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitTopLevel(const std::string& xml) {
+  return SplitWithStream<XmlTokenStream>(xml);
+}
+
+std::vector<std::string> SplitTopLevel(const std::string& text,
+                                       InputFormat format) {
+  switch (format) {
+    case InputFormat::kXml:
+      return SplitWithStream<XmlTokenStream>(text);
+    case InputFormat::kJson:
+      return SplitWithStream<JsonTokenStream>(text);
+    case InputFormat::kTrace:
+      return SplitWithStream<TraceTokenStream>(text);
+  }
+  NW_CHECK_MSG(false, "unreachable: unknown input format");
+  return {};
 }
 
 std::vector<std::string> SplitTopLevel(const std::string& xml,
                                        StatsSink* stats) {
+  return SplitTopLevel(xml, InputFormat::kXml, stats);
+}
+
+std::vector<std::string> SplitTopLevel(const std::string& text,
+                                       InputFormat format, StatsSink* stats) {
   NW_CHECK_MSG(stats != nullptr,
                "the reporting SplitTopLevel overload needs a sink; call "
                "the plain overload when stats are off");
-  std::vector<std::string> out = SplitTopLevel(xml);
+  std::vector<std::string> out = SplitTopLevel(text, format);
   stats->split_chunks.Add(out.size());
   for (const std::string& chunk : out) {
     stats->split_max_chunk_bytes.SetMax(chunk.size());

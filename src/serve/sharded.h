@@ -18,6 +18,7 @@
 
 #include "nw/alphabet.h"
 #include "serve/frozen_bank.h"
+#include "stream/token_stream.h"
 
 namespace nw {
 
@@ -75,9 +76,13 @@ class ShardedEvaluator {
   /// `frozen` must outlive the evaluator. `num_symbols` and
   /// `other_symbol` configure each worker engine exactly like the
   /// single-stream CLI path (out-of-space stream symbols remap to the
-  /// catch-all). `threads` >= 1.
+  /// catch-all). `threads` >= 1. `format` selects the tokenizer front
+  /// end each worker streams documents through (stream/token_stream.h) —
+  /// the ONLY thing that varies by format; sharding, stepping, stats,
+  /// and attribution are format-blind.
   ShardedEvaluator(const FrozenBank* frozen, size_t num_symbols,
-                   Symbol other_symbol, size_t threads);
+                   Symbol other_symbol, size_t threads,
+                   InputFormat format = InputFormat::kXml);
 
   /// Streams every document of `corpus` through the whole query bank,
   /// sharded across the worker threads, and returns per-document results
@@ -117,6 +122,7 @@ class ShardedEvaluator {
   size_t num_symbols_;
   Symbol other_;
   size_t threads_;
+  InputFormat format_;
   ServeStats stats_;
   /// One sink per shard (see AttachStats); empty when stats are off.
   std::vector<std::unique_ptr<StatsSink>> sinks_;
@@ -143,6 +149,20 @@ std::vector<std::string> SplitTopLevel(const std::string& xml);
 /// `stats` must not be null; the plain overload is the disabled path.
 std::vector<std::string> SplitTopLevel(const std::string& xml,
                                        StatsSink* stats);
+
+/// Format-selecting overloads: identical cut rule (a return leaving the
+/// stream at depth 0 ends a chunk) driven by the chosen front end's
+/// tokenizer, so for JSON a top-level record array's elements become the
+/// chunks (the anonymous envelope streams silently — see json/json.h)
+/// and for traces each top-level frame does. Concatenating the chunks
+/// yields the input for every format; re-tokenizing a chunk that sliced
+/// a JSON envelope open can differ from the whole-document stream (the
+/// record that lost its envelope gains a `#obj`/`#arr` wrapper) — the
+/// same per-record semantics change the XML overload documents.
+std::vector<std::string> SplitTopLevel(const std::string& text,
+                                       InputFormat format);
+std::vector<std::string> SplitTopLevel(const std::string& text,
+                                       InputFormat format, StatsSink* stats);
 
 }  // namespace nw
 

@@ -1,0 +1,54 @@
+#include "stream/token_stream.h"
+
+#include "obs/stats.h"
+
+namespace nw {
+
+bool ParseInputFormat(const std::string& name, InputFormat* out) {
+  if (name == "xml") {
+    *out = InputFormat::kXml;
+  } else if (name == "json") {
+    *out = InputFormat::kJson;
+  } else if (name == "trace") {
+    *out = InputFormat::kTrace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* InputFormatName(InputFormat format) {
+  switch (format) {
+    case InputFormat::kXml:
+      return "xml";
+    case InputFormat::kJson:
+      return "json";
+    case InputFormat::kTrace:
+      return "trace";
+  }
+  return "xml";
+}
+
+void StreamTally::Flush(size_t bytes) {
+  if (flushed_ || stats_ == nullptr) return;
+  flushed_ = true;
+  stats_->stream_bytes.Add(bytes);
+  stats_->stream_tokens.Add(calls_ + returns_ + internals_);
+  stats_->stream_calls.Add(calls_);
+  stats_->stream_returns.Add(returns_);
+  stats_->stream_internals.Add(internals_);
+  stats_->stream_depth_hwm.SetMax(depth_hwm_);
+  switch (format_) {
+    case InputFormat::kXml:
+      stats_->stream_docs_xml.Inc();
+      break;
+    case InputFormat::kJson:
+      stats_->stream_docs_json.Inc();
+      break;
+    case InputFormat::kTrace:
+      stats_->stream_docs_trace.Inc();
+      break;
+  }
+}
+
+}  // namespace nw

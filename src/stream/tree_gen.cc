@@ -1,0 +1,120 @@
+#include "stream/tree_gen.h"
+
+#include <cctype>
+
+#include "support/check.h"
+
+namespace nw {
+
+namespace {
+
+/// Text chunks the generator draws from. "1984" exercises the JSON
+/// renderer's bare-number path; every chunk is a single alphanumeric
+/// word so no rendering needs escaping and the XML tokenizer yields
+/// exactly one #text internal per chunk.
+const char* const kWords[] = {"text", "lorem", "data", "1984"};
+
+TreeNode GenNode(Rng* rng, const std::vector<std::string>& names,
+                 size_t depth, size_t max_depth, size_t* budget) {
+  TreeNode n;
+  n.name = names[rng->Below(names.size())];
+  *budget -= *budget >= 2 ? 2 : *budget;  // the element's call + return
+  uint64_t pick = rng->Below(4);
+  if (pick == 0 || depth + 1 >= max_depth || *budget == 0) {
+    if (pick != 1) {  // pick==1: empty element
+      n.text = kWords[rng->Below(4)];
+      *budget -= *budget >= 1 ? 1 : 0;
+    }
+    return n;
+  }
+  size_t kids = 1 + rng->Below(3);
+  for (size_t i = 0; i < kids && *budget > 0; ++i) {
+    n.children.push_back(GenNode(rng, names, depth + 1, max_depth, budget));
+  }
+  return n;
+}
+
+void XmlNode(const TreeNode& n, std::string* out) {
+  *out += "<" + n.name + ">";
+  for (const TreeNode& c : n.children) XmlNode(c, out);
+  *out += n.text;
+  *out += "</" + n.name + ">";
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+void JsonNode(const TreeNode& n, std::string* out) {
+  *out += "\"" + n.name + "\":";
+  if (!n.children.empty()) {
+    *out += "{";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) *out += ",";
+      JsonNode(n.children[i], out);
+    }
+    *out += "}";
+  } else if (!n.text.empty()) {
+    // A digit chunk renders as a bare number: scalar kinds differ, the
+    // token stream (call, #text, return) does not.
+    *out += AllDigits(n.text) ? n.text : "\"" + n.text + "\"";
+  } else {
+    *out += "{}";
+  }
+}
+
+void TraceNode(const TreeNode& n, std::string* out) {
+  *out += "<" + n.name;
+  for (const TreeNode& c : n.children) {
+    *out += " ";
+    TraceNode(c, out);
+  }
+  if (!n.text.empty()) *out += " #text";
+  *out += " " + n.name + ">";
+}
+
+}  // namespace
+
+std::vector<TreeNode> RandomForest(Rng* rng,
+                                   const std::vector<std::string>& names,
+                                   size_t approx_positions, size_t max_depth) {
+  NW_CHECK_MSG(!names.empty(), "tree generator needs element names");
+  NW_CHECK_MSG(max_depth >= 1, "trees need room for a root");
+  std::vector<TreeNode> forest;
+  size_t budget = approx_positions;
+  while (budget > 0) {
+    forest.push_back(GenNode(rng, names, 0, max_depth, &budget));
+  }
+  return forest;
+}
+
+std::string RenderXml(const std::vector<TreeNode>& forest) {
+  std::string out;
+  for (const TreeNode& n : forest) XmlNode(n, &out);
+  return out;
+}
+
+std::string RenderJson(const std::vector<TreeNode>& forest) {
+  std::string out = "{";
+  for (size_t i = 0; i < forest.size(); ++i) {
+    if (i > 0) out += ",";
+    JsonNode(forest[i], &out);
+  }
+  out += "}";
+  return out;
+}
+
+std::string RenderTrace(const std::vector<TreeNode>& forest) {
+  std::string out;
+  for (const TreeNode& n : forest) {
+    if (!out.empty()) out += " ";
+    TraceNode(n, &out);
+  }
+  return out;
+}
+
+}  // namespace nw

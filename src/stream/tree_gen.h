@@ -1,0 +1,60 @@
+// Format-agnostic random document trees. The cross-format differential
+// tests (tests/json_test.cc), the ingestion benches, and the CLI's
+// `--format=json|trace --random` path all need THE SAME logical tree
+// rendered in every front end's concrete syntax; the renderers here are
+// built so the three renderings tokenize to the identical nested word:
+//
+//   element with children   <a>…</a>     "a":{…}      <a … a>
+//   element with text       <a>w</a>     "a":"w"      <a #text a>
+//   empty element           <a></a>      "a":{}       <a a>
+//
+// (JSON wraps the forest in a top-level `{…}` envelope, which streams
+// silently; the trace rendering spells text chunks as the literal token
+// `#text`, which interns to the same pseudo-symbol the other tokenizers
+// use.) Byte-identical query results across formats follow from token
+// identity — the property the differential tests pin end to end.
+#ifndef NW_STREAM_TREE_GEN_H_
+#define NW_STREAM_TREE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace nw {
+
+/// One element of a document tree: a name plus EITHER children OR a text
+/// chunk (or neither — an empty element). The either/or constraint is
+/// what keeps the three renderings token-identical: JSON cannot put a
+/// scalar next to members inside one object value.
+struct TreeNode {
+  std::string name;
+  std::vector<TreeNode> children;
+  /// Text content; empty = no text. Only meaningful on a leaf.
+  std::string text;
+};
+
+/// Random forest of roughly `approx_positions` tagged positions with
+/// nesting depth at most `max_depth` (>= 1). Element names draw from
+/// `names` (non-empty; none may need JSON/XML escaping — alphanumerics,
+/// '_', '-'). Deterministic in the Rng state.
+std::vector<TreeNode> RandomForest(Rng* rng,
+                                   const std::vector<std::string>& names,
+                                   size_t approx_positions, size_t max_depth);
+
+/// The forest as SAX-style XML: `<a>…</a>` per element.
+std::string RenderXml(const std::vector<TreeNode>& forest);
+
+/// The forest as JSON: one top-level object (streamed silently) whose
+/// members are the roots; children render as nested objects, text as a
+/// string scalar (or a bare number when the chunk is all digits), empty
+/// elements as `{}`.
+std::string RenderJson(const std::vector<TreeNode>& forest);
+
+/// The forest in Figure-1 trace notation: `<a … a>` per element, text
+/// chunks as the literal `#text` token.
+std::string RenderTrace(const std::vector<TreeNode>& forest);
+
+}  // namespace nw
+
+#endif  // NW_STREAM_TREE_GEN_H_

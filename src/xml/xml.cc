@@ -10,28 +10,14 @@ namespace nw {
 XmlTokenStream::~XmlTokenStream() {
   // A consumer may stop early (every query dead); the tallies of the
   // consumed prefix still flush so byte counts reflect work done.
-  Flush();
-}
-
-void XmlTokenStream::Flush() {
-  if (stats_ == nullptr || flushed_) return;
-  flushed_ = true;
-  stats_->stream_bytes.Add(pos_);
-  stats_->stream_tokens.Add(calls_ + returns_ + internals_);
-  stats_->stream_calls.Add(calls_);
-  stats_->stream_returns.Add(returns_);
-  stats_->stream_internals.Add(internals_);
-  stats_->stream_depth_hwm.SetMax(depth_hwm_);
+  tally_.Flush(pos_);
 }
 
 bool XmlTokenStream::Next(TaggedSymbol* out) {
   if (queued_return_ != Alphabet::kNoSymbol) {
     *out = Return(queued_return_);
     queued_return_ = Alphabet::kNoSymbol;
-    if (stats_ != nullptr) {
-      ++returns_;
-      if (depth_ > 0) --depth_;
-    }
+    if (tally_.enabled()) tally_.OnReturn();
     return true;
   }
   const std::string& text = text_;
@@ -65,7 +51,7 @@ bool XmlTokenStream::Next(TaggedSymbol* out) {
             if (text_sym_ == Alphabet::kNoSymbol) {
               text_sym_ = alphabet_->Intern("#text");
             }
-            if (stats_ != nullptr) ++internals_;
+            if (tally_.enabled()) tally_.OnInternal();
             *out = Internal(text_sym_);
             return true;
           }
@@ -91,10 +77,7 @@ bool XmlTokenStream::Next(TaggedSymbol* out) {
         while (j < text.size() && text[j] != '>') ++j;
         if (j < text.size()) ++j;
         pos_ = j;
-        if (stats_ != nullptr) {
-          ++returns_;
-          if (depth_ > 0) --depth_;
-        }
+        if (tally_.enabled()) tally_.OnReturn();
         *out = Return(alphabet_->Intern(name));
         return true;
       }
@@ -111,10 +94,7 @@ bool XmlTokenStream::Next(TaggedSymbol* out) {
       pos_ = j;
       Symbol s = alphabet_->Intern(name);
       if (self_closing) queued_return_ = s;
-      if (stats_ != nullptr) {
-        ++calls_;
-        if (++depth_ > depth_hwm_) depth_hwm_ = depth_;
-      }
+      if (tally_.enabled()) tally_.OnCall();
       *out = Call(s);
       return true;
     }
@@ -130,12 +110,12 @@ bool XmlTokenStream::Next(TaggedSymbol* out) {
       if (text_sym_ == Alphabet::kNoSymbol) {
         text_sym_ = alphabet_->Intern("#text");
       }
-      if (stats_ != nullptr) ++internals_;
+      if (tally_.enabled()) tally_.OnInternal();
       *out = Internal(text_sym_);
       return true;
     }
   }
-  Flush();  // end of input: tallies become visible to the sink
+  tally_.Flush(pos_);  // end of input: tallies become visible to the sink
   return false;
 }
 

@@ -13,13 +13,10 @@
 
 #include "nw/nested_word.h"
 #include "nwa/nwa.h"
+#include "stream/token_stream.h"
 #include "support/rng.h"
 
 namespace nw {
-
-// The NWStats sink (obs/stats.h) is held by pointer only, so the xml
-// layer's header stays free of observability includes.
-struct StatsSink;
 
 /// Incremental pull tokenizer over SAX-style XML text. Yields one tagged
 /// position at a time so consumers (NwaRunner, the query engine) can
@@ -29,6 +26,9 @@ struct StatsSink;
 /// allocates it. Attributes are skipped; self-closing tags (`<a/>`) emit a
 /// call immediately followed by a return; malformed input never fails —
 /// stray close tags become pending returns, unclosed opens pending calls.
+///
+/// One instantiation of the TokenStream concept (stream/token_stream.h);
+/// json/json.h and trace/trace.h are the others.
 class XmlTokenStream {
  public:
   /// `text` and `alphabet` must outlive the stream.
@@ -41,12 +41,11 @@ class XmlTokenStream {
 
   /// Attaches an NWStats sink (obs/stats.h): the stream then tallies
   /// bytes consumed, tokens by kind, and the call/return depth
-  /// high-water mark. Tallies are PLAIN LOCAL COUNTERS — zero atomic
-  /// traffic per token — flushed into the sink once, when the stream
-  /// ends (or is destroyed mid-document after an early stop), so the
-  /// enabled hot path costs a handful of register increments and the
-  /// disabled path one branch on a pointer constant for the stream.
-  void set_stats(StatsSink* stats) { stats_ = stats; }
+  /// high-water mark through the shared flush-once StreamTally
+  /// (stream/token_stream.h), so the enabled hot path costs a handful of
+  /// register increments and the disabled path one branch on a pointer
+  /// constant for the stream.
+  void set_stats(StatsSink* stats) { tally_.set_stats(stats); }
 
   /// Produces the next position into `*out`; false at end of input.
   bool Next(TaggedSymbol* out);
@@ -60,9 +59,6 @@ class XmlTokenStream {
   size_t pos() const { return pos_; }
 
  private:
-  /// One-shot flush of the local tallies into stats_ (idempotent).
-  void Flush();
-
   const std::string& text_;
   Alphabet* alphabet_;
   size_t pos_ = 0;
@@ -71,11 +67,8 @@ class XmlTokenStream {
   /// Return emitted right after a self-closing tag's call; kNoSymbol when
   /// none is queued.
   Symbol queued_return_ = Alphabet::kNoSymbol;
-  // -- NWStats tallies (plain locals, flushed once; see set_stats). --
-  StatsSink* stats_ = nullptr;
-  bool flushed_ = false;
-  size_t calls_ = 0, returns_ = 0, internals_ = 0;
-  size_t depth_ = 0, depth_hwm_ = 0;
+  /// NWStats tallies, flushed once (see set_stats).
+  StreamTally tally_{InputFormat::kXml};
 };
 
 /// Tokenizes `text` into a materialized nested word (XmlTokenStream run to

@@ -1,0 +1,296 @@
+// Tests for the program-trace front end (src/trace): the Figure-1 token
+// mapping, the `balanced a b` query atom against the hand-built
+// LockDiscipline oracle of examples/program_traces.cpp (including the
+// crashed-program and log-suffix cases that motivated nested words),
+// end-to-end evaluation through every engine path and the sharded
+// evaluator, and the malformed-log fuzz contract.
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/stats.h"
+#include "opt/pipeline.h"
+#include "query/compile.h"
+#include "query/engine.h"
+#include "query/nwquery.h"
+#include "serve/frozen_bank.h"
+#include "serve/sharded.h"
+#include "support/rng.h"
+
+namespace nw {
+namespace {
+
+TEST(Trace, TokenMapping) {
+  Alphabet sigma;
+  NestedWord n = TraceToNestedWord("<main acquire work release main>",
+                                   &sigma);
+  ASSERT_EQ(n.size(), 5u);
+  EXPECT_EQ(n.kind(0), Kind::kCall);
+  EXPECT_EQ(n.kind(1), Kind::kInternal);
+  EXPECT_EQ(n.kind(4), Kind::kReturn);
+  EXPECT_EQ(n.symbol(0), n.symbol(4));
+  // Internal events carry their OWN symbol — not the #text pseudo-symbol
+  // of the XML/JSON front ends. This is what event-level atoms step on.
+  EXPECT_EQ(sigma.Name(n.symbol(1)), "acquire");
+  EXPECT_TRUE(n.IsWellMatched());
+}
+
+TEST(Trace, SelfContainedFrame) {
+  // `<f>` is call + immediate return — the XML self-closing analog.
+  Alphabet sigma;
+  NestedWord n = TraceToNestedWord("<f>", &sigma);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.kind(0), Kind::kCall);
+  EXPECT_EQ(n.kind(1), Kind::kReturn);
+  EXPECT_EQ(n.symbol(0), n.symbol(1));
+}
+
+TEST(Trace, MalformedTokensAreInternals) {
+  // Lone angle brackets name no frame: they degrade to #text internals,
+  // and pending calls/returns are first-class, never an error.
+  Alphabet sigma;
+  NestedWord n = TraceToNestedWord("< > <f ev", &sigma);
+  ASSERT_EQ(n.size(), 4u);
+  EXPECT_EQ(n.kind(0), Kind::kInternal);
+  EXPECT_EQ(sigma.Name(n.symbol(0)), "#text");
+  EXPECT_EQ(n.kind(1), Kind::kInternal);
+  EXPECT_EQ(n.kind(2), Kind::kCall);  // pending call
+  NestedWord suffix = TraceToNestedWord("ev f> main>", &sigma);
+  EXPECT_EQ(suffix.kind(1), Kind::kReturn);  // pending return
+}
+
+TEST(Trace, BalancedAtomParsesFormatsAndRoundTrips) {
+  Alphabet sigma;
+  Result<Query> q = ParseQuery("balanced acquire release", &sigma);
+  ASSERT_TRUE(q.ok());
+  Query parsed = q.Take();
+  EXPECT_TRUE(parsed.is_atom());
+  EXPECT_EQ(parsed.op(), Query::Op::kBalanced);
+  std::string printed = FormatQuery(parsed, sigma);
+  EXPECT_EQ(printed, "balanced acquire release");
+  EXPECT_TRUE(ParseQuery(printed, &sigma).Take() == parsed);
+  // The keyword is reserved and the atom needs both names.
+  EXPECT_FALSE(ParseQuery("balanced", &sigma).ok());
+  EXPECT_FALSE(ParseQuery("balanced acquire", &sigma).ok());
+  EXPECT_FALSE(ParseQuery("//balanced", &sigma).ok());
+}
+
+/// The five traces of examples/program_traces.cpp with their oracle
+/// verdicts: the discipline holds on clean runs, on crashed programs
+/// (pending calls), and on log suffixes (pending returns), and is
+/// violated by a frame returning while holding and by a release with
+/// nothing held.
+struct OracleCase {
+  const char* trace;
+  bool ok;
+};
+
+const OracleCase kOracle[] = {
+    {"<main <f acquire work release f> <g work g> main>", true},
+    {"<main <f acquire work f> release main>", false},
+    {"<main release main>", false},
+    {"<main <f acquire work release <g work", true},
+    {"acquire work f> release main>", true},
+};
+
+TEST(Trace, BalancedFrameQueryMatchesTheLockDisciplineOracle) {
+  Alphabet sigma;
+  Query q = ParseQuery("balanced acquire release", &sigma).Take();
+  sigma.Intern("#text");
+  Symbol other = sigma.Intern("%other");
+  // Intern every event name the traces use BEFORE compiling, so the atom
+  // sees them in its symbol space (the CLI's remap path is tested below).
+  for (const OracleCase& c : kOracle) TraceToNestedWord(c.trace, &sigma);
+  size_t num_symbols = sigma.size();
+  Nwa a = CompileQuery(q, num_symbols);
+  QueryEngine engine(num_symbols);
+  engine.set_other_symbol(other);
+  engine.Add(&a);
+  for (const OracleCase& c : kOracle) {
+    NestedWord n = TraceToNestedWord(c.trace, &sigma);
+    EXPECT_EQ(engine.RunAll(n)[0], c.ok) << c.trace;
+  }
+}
+
+// -- End-to-end: mixed query bank over a trace corpus ---------------------
+
+std::vector<std::string> TraceQueryTexts() {
+  // The balanced atom composed with the whole language: under booleans
+  // its automaton is the first reachably-partial NWA the optimizer and
+  // bank see, so these pin that dead runs survive rewrite → minimize →
+  // product → freeze unchanged.
+  return {
+      "balanced acquire release",
+      "not (balanced acquire release)",
+      "balanced acquire release and //work",
+      "//f",
+      "acquire then release",
+      "depth >= 2",
+  };
+}
+
+struct Workload {
+  Alphabet alphabet;
+  std::vector<Query> queries;
+  Symbol other = Alphabet::kNoSymbol;
+  size_t num_symbols = 0;
+  OptimizedBank bank;
+
+  explicit Workload(const std::vector<std::string>& texts) {
+    for (const std::string& text : texts) {
+      queries.push_back(ParseQuery(text, &alphabet).Take());
+    }
+    alphabet.Intern("#text");
+    other = alphabet.Intern("%other");
+    num_symbols = alphabet.size();
+    bank = OptimizeBank(queries, num_symbols, OptOptions::All());
+  }
+};
+
+/// Random call/return event logs over a small vocabulary, deliberately
+/// including unbalanced acquire/release mixes and malformed fragments.
+std::vector<std::string> MakeTraceCorpus(size_t n, uint64_t seed) {
+  const char* events[] = {"acquire", "release", "work", "log", "unlisted"};
+  const char* frames[] = {"main", "f", "g", "handler"};
+  Rng rng(seed);
+  std::vector<std::string> corpus;
+  for (size_t i = 0; i < n; ++i) {
+    std::string doc;
+    size_t len = 20 + rng.Below(120);
+    size_t depth = 0;
+    for (size_t p = 0; p < len; ++p) {
+      if (!doc.empty()) doc += " ";
+      uint64_t pick = rng.Below(10);
+      if (pick < 2) {
+        doc += "<" + std::string(frames[rng.Below(4)]);
+        ++depth;
+      } else if (pick < 4 && depth > 0) {
+        doc += std::string(frames[rng.Below(4)]) + ">";
+        --depth;
+      } else if (pick == 4) {
+        doc += "<" + std::string(frames[rng.Below(4)]) + ">";
+      } else {
+        doc += events[rng.Below(5)];
+      }
+    }
+    // Every fourth log is cut off mid-stream (a crashed program).
+    if (i % 4 == 3) doc.resize(doc.size() / 2);
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+TEST(TraceEndToEnd, AllEnginePathsAgree) {
+  Workload w(TraceQueryTexts());
+  std::vector<std::string> corpus = MakeTraceCorpus(20, 17);
+  // SoA reference.
+  QueryEngine soa(w.num_symbols);
+  soa.set_other_symbol(w.other);
+  for (const OptimizedQuery& q : w.bank.queries) soa.Add(&q.nwa);
+  std::vector<std::vector<bool>> ref;
+  Alphabet a1 = w.alphabet;
+  for (const std::string& doc : corpus) {
+    ref.push_back(soa.RunAll(doc, &a1, InputFormat::kTrace));
+  }
+  // Shared-bank path.
+  QueryEngine banked(w.num_symbols);
+  banked.set_other_symbol(w.other);
+  banked.AddBank(w.bank.shared.get());
+  Alphabet a2 = w.alphabet;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    EXPECT_EQ(banked.RunAll(corpus[d], &a2, InputFormat::kTrace), ref[d])
+        << "doc " << d;
+  }
+  // Frozen path under the sharded evaluator, threads ∈ {1, 8}.
+  FrozenBank frozen = FrozenBank::Freeze(*w.bank.shared);
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    ShardedEvaluator evaluator(&frozen, w.num_symbols, w.other, threads,
+                               InputFormat::kTrace);
+    std::vector<DocResult> results =
+        evaluator.EvaluateCorpus(corpus, w.alphabet, false);
+    ASSERT_EQ(results.size(), corpus.size());
+    for (size_t d = 0; d < results.size(); ++d) {
+      EXPECT_EQ(results[d].accept, ref[d]) << "doc " << d;
+    }
+  }
+}
+
+TEST(TraceEndToEnd, SplitTopLevelCutsAtFrameBoundaries) {
+  std::string log = "<main a main> <f b f> boot <g c";
+  std::vector<std::string> chunks = SplitTopLevel(log, InputFormat::kTrace);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], "<main a main>");
+  EXPECT_EQ(chunks[1], " <f b f>");
+  EXPECT_EQ(chunks[2], " boot <g c");  // unclosed frame spills
+  std::string cat;
+  for (const std::string& ch : chunks) cat += ch;
+  EXPECT_EQ(cat, log);
+}
+
+TEST(TraceFuzz, MutatedLogsNeverFailAndAlwaysRecompose) {
+  Workload w(TraceQueryTexts());
+  QueryEngine engine(w.num_symbols);
+  engine.set_other_symbol(w.other);
+  for (const OptimizedQuery& q : w.bank.queries) engine.Add(&q.nwa);
+  Rng rng(31337);
+  Alphabet alphabet = w.alphabet;
+  std::vector<std::string> seeds = MakeTraceCorpus(8, 5);
+  for (int round = 0; round < 300; ++round) {
+    std::string doc = seeds[rng.Below(seeds.size())];
+    size_t edits = 1 + rng.Below(6);
+    for (size_t e = 0; e < edits && !doc.empty(); ++e) {
+      size_t at = rng.Below(doc.size());
+      switch (rng.Below(4)) {
+        case 0:
+          doc[at] = "<> "[rng.Below(3)];
+          break;
+        case 1:
+          doc.erase(at, 1 + rng.Below(4));
+          break;
+        case 2:
+          doc.insert(at, 1, "<> "[rng.Below(3)]);
+          break;
+        case 3:
+          doc.resize(at);
+          break;
+      }
+    }
+    Alphabet scratch;
+    TraceTokenStream stream(doc, &scratch);
+    TaggedSymbol t;
+    while (stream.Next(&t)) {
+    }
+    EXPECT_EQ(stream.pos(), doc.size());
+    std::vector<std::string> chunks = SplitTopLevel(doc, InputFormat::kTrace);
+    std::string cat;
+    for (const std::string& ch : chunks) cat += ch;
+    EXPECT_EQ(cat, doc);
+    engine.RunAll(doc, &alphabet, InputFormat::kTrace);
+  }
+}
+
+TEST(TraceStats, FlushOnceWithFormatLabel) {
+  StatsSink sink;
+  std::string log = "<main <f acquire release f> main>";
+  {
+    Alphabet sigma;
+    TraceTokenStream stream(log, &sigma);
+    stream.set_stats(&sink);
+    TaggedSymbol t;
+    while (stream.Next(&t)) {
+    }
+  }
+  EXPECT_EQ(sink.stream_docs_trace.value(), 1u);
+  EXPECT_EQ(sink.stream_docs_xml.value(), 0u);
+  EXPECT_EQ(sink.stream_bytes.value(), log.size());
+  EXPECT_EQ(sink.stream_calls.value(), 2u);
+  EXPECT_EQ(sink.stream_returns.value(), 2u);
+  EXPECT_EQ(sink.stream_internals.value(), 2u);
+  EXPECT_EQ(sink.stream_depth_hwm.value(), 2u);
+}
+
+}  // namespace
+}  // namespace nw
