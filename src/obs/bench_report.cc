@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/pulse.h"
 #include "obs/stats.h"
 
 namespace nw {
@@ -99,13 +100,19 @@ std::string BenchReport::ToJson(bool quick) const {
   out.push_back(':');
   AppendJsonString(&out, OsId());
   out += "},";
+  // Machine context of the benchmarking process itself (peak RSS, CPU,
+  // wall time) — context, not a metric: bench_diff compares "metrics"
+  // only, so run-to-run rusage noise never fails a diff.
+  out += "\"process\":{" + SampleProcess().ToJsonFields() + "},";
   AppendJsonString(&out, "metrics");
   out += ":{";
   for (size_t i = 0; i < metrics_.size(); ++i) {
     if (i > 0) out.push_back(',');
     AppendJsonString(&out, metrics_[i].first);
-    std::snprintf(buf, sizeof(buf), ":%.4f", metrics_[i].second);
-    out += buf;
+    out.push_back(':');
+    // NaN/Inf render null — a degenerate ratio must not corrupt the
+    // report (tools/bench_diff.py treats null as missing).
+    AppendJsonDouble(&out, metrics_[i].second);
   }
   out += "}}";
   return out;

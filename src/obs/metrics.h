@@ -103,6 +103,12 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Raw count of bucket `i` — the reader-side view the NWPulse snapshot
+  /// engine captures (obs/pulse.h); bucket-wise subtraction of two
+  /// captures yields an interval histogram.
+  uint64_t bucket(uint32_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
   double mean() const {
     uint64_t n = count();
     return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);

@@ -1,44 +1,103 @@
 #include "obs/stats.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "support/check.h"
 
 namespace nw {
 
+const std::vector<SinkCounterField>& SinkCounterFields() {
+  static const std::vector<SinkCounterField> kFields = {
+      {"stream_bytes", "document bytes consumed by tokenization",
+       &StatsSink::stream_bytes},
+      {"stream_tokens", "tagged positions yielded by the tokenizer",
+       &StatsSink::stream_tokens},
+      {"stream_calls", "call positions (open tags / containers)",
+       &StatsSink::stream_calls},
+      {"stream_returns", "return positions (close tags / containers)",
+       &StatsSink::stream_returns},
+      {"stream_internals", "internal positions (text chunks / events)",
+       &StatsSink::stream_internals},
+      {"stream_docs_xml", "streams tokenized by the XML front end",
+       &StatsSink::stream_docs_xml},
+      {"stream_docs_json", "streams tokenized by the JSON front end",
+       &StatsSink::stream_docs_json},
+      {"stream_docs_trace", "streams tokenized by the trace front end",
+       &StatsSink::stream_docs_trace},
+      {"engine_docs", "documents streamed to completion",
+       &StatsSink::engine_docs},
+      {"engine_positions", "positions stepped across all documents",
+       &StatsSink::engine_positions},
+      {"engine_docs_soa", "documents taken on the per-query SoA path",
+       &StatsSink::engine_docs_soa},
+      {"engine_docs_bank", "documents taken on the shared-bank path",
+       &StatsSink::engine_docs_bank},
+      {"engine_docs_frozen", "documents taken on the frozen path",
+       &StatsSink::engine_docs_frozen},
+      {"bank_states", "product states interned (explored)",
+       &StatsSink::bank_states},
+      {"bank_memo_hits", "steps answered by the memo table",
+       &StatsSink::bank_memo_hits},
+      {"bank_memo_misses", "steps that ran the K component automata",
+       &StatsSink::bank_memo_misses},
+      {"frozen_hits", "steps answered lock-free by the snapshot",
+       &StatsSink::frozen_hits},
+      {"frozen_misses", "steps that took the overflow mutex",
+       &StatsSink::frozen_misses},
+      {"overflow_steps", "steps serviced by the overflow bank",
+       &StatsSink::overflow_steps},
+      {"overflow_escalations", "overflow steps stuck in overflow space",
+       &StatsSink::overflow_escalations},
+      {"overflow_mapbacks", "overflow steps mapped back to frozen",
+       &StatsSink::overflow_mapbacks},
+      {"shard_docs", "documents this shard pulled off the cursor",
+       &StatsSink::shard_docs},
+      {"shard_bytes", "bytes of the documents this shard streamed",
+       &StatsSink::shard_bytes},
+      {"shard_positions", "positions this shard stepped",
+       &StatsSink::shard_positions},
+      {"shard_busy_us", "time spent streaming documents (us)",
+       &StatsSink::shard_busy_us},
+      {"shard_wait_us", "worker wall time minus busy time (us)",
+       &StatsSink::shard_wait_us},
+      {"split_chunks", "chunks SplitTopLevel produced",
+       &StatsSink::split_chunks},
+  };
+  return kFields;
+}
+
+const std::vector<SinkGaugeField>& SinkGaugeFields() {
+  static const std::vector<SinkGaugeField> kFields = {
+      {"stream_depth_hwm", "call/return depth high-water mark",
+       &StatsSink::stream_depth_hwm},
+      {"split_max_chunk_bytes", "largest SplitTopLevel chunk (skew witness)",
+       &StatsSink::split_max_chunk_bytes},
+  };
+  return kFields;
+}
+
+const std::vector<SinkHistogramField>& SinkHistogramFields() {
+  static const std::vector<SinkHistogramField> kFields = {
+      {"doc_latency_us", "per-document end-to-end latency (us)",
+       &StatsSink::doc_latency_us},
+      {"split_chunk_bytes", "SplitTopLevel chunk size distribution",
+       &StatsSink::split_chunk_bytes},
+  };
+  return kFields;
+}
+
 void StatsSink::MergeFrom(const StatsSink& other) {
-  stream_bytes.MergeFrom(other.stream_bytes);
-  stream_tokens.MergeFrom(other.stream_tokens);
-  stream_calls.MergeFrom(other.stream_calls);
-  stream_returns.MergeFrom(other.stream_returns);
-  stream_internals.MergeFrom(other.stream_internals);
-  stream_depth_hwm.MergeMaxFrom(other.stream_depth_hwm);
-  stream_docs_xml.MergeFrom(other.stream_docs_xml);
-  stream_docs_json.MergeFrom(other.stream_docs_json);
-  stream_docs_trace.MergeFrom(other.stream_docs_trace);
-  engine_docs.MergeFrom(other.engine_docs);
-  engine_positions.MergeFrom(other.engine_positions);
-  engine_docs_soa.MergeFrom(other.engine_docs_soa);
-  engine_docs_bank.MergeFrom(other.engine_docs_bank);
-  engine_docs_frozen.MergeFrom(other.engine_docs_frozen);
-  doc_latency_us.MergeFrom(other.doc_latency_us);
-  bank_states.MergeFrom(other.bank_states);
-  bank_memo_hits.MergeFrom(other.bank_memo_hits);
-  bank_memo_misses.MergeFrom(other.bank_memo_misses);
-  frozen_hits.MergeFrom(other.frozen_hits);
-  frozen_misses.MergeFrom(other.frozen_misses);
-  overflow_steps.MergeFrom(other.overflow_steps);
-  overflow_escalations.MergeFrom(other.overflow_escalations);
-  overflow_mapbacks.MergeFrom(other.overflow_mapbacks);
-  shard_docs.MergeFrom(other.shard_docs);
-  shard_bytes.MergeFrom(other.shard_bytes);
-  shard_positions.MergeFrom(other.shard_positions);
-  shard_busy_us.MergeFrom(other.shard_busy_us);
-  shard_wait_us.MergeFrom(other.shard_wait_us);
-  split_chunks.MergeFrom(other.split_chunks);
-  split_max_chunk_bytes.MergeMaxFrom(other.split_max_chunk_bytes);
-  split_chunk_bytes.MergeFrom(other.split_chunk_bytes);
+  for (const SinkCounterField& f : SinkCounterFields()) {
+    (this->*f.member).MergeFrom(other.*f.member);
+  }
+  for (const SinkGaugeField& f : SinkGaugeFields()) {
+    (this->*f.member).MergeMaxFrom(other.*f.member);
+  }
+  for (const SinkHistogramField& f : SinkHistogramFields()) {
+    (this->*f.member).MergeFrom(other.*f.member);
+  }
 }
 
 void StatsRegistry::Register(std::string label, const StatsSink* sink) {
@@ -120,17 +179,21 @@ void AppendJsonString(std::string* out, const std::string& s) {
   out->push_back('"');
 }
 
+void AppendJsonDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  *out += buf;
+}
+
 namespace {
 
 void AppendNum(std::string* out, uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  *out += buf;
-}
-
-void AppendDbl(std::string* out, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.4f", v);
   *out += buf;
 }
 
@@ -143,12 +206,15 @@ void Field(std::string* out, bool* first, const char* key, uint64_t v) {
   AppendNum(out, v);
 }
 
+/// Ratio keys (`utilization`, `hit_rate`, `mean`, the pulse `rate` keys)
+/// all land here; the shared guard in AppendJsonDouble renders `null`
+/// for NaN/Inf so a division can never poison the JSON.
 void FieldDbl(std::string* out, bool* first, const char* key, double v) {
   if (!*first) out->push_back(',');
   *first = false;
   AppendJsonString(out, key);
   out->push_back(':');
-  AppendDbl(out, v);
+  AppendJsonDouble(out, v);
 }
 
 void AppendHistogram(std::string* out, const Histogram& h) {

@@ -75,6 +75,31 @@ struct StatsSink {
   void MergeFrom(const StatsSink& other);
 };
 
+/// Field schema over StatsSink: one entry per metric, with the stable
+/// wire name (the JSON/Prometheus identity) and a one-line help string.
+/// MergeFrom, the NWPulse snapshot engine (obs/pulse.h), and the
+/// Prometheus renderer all iterate these tables, so adding a field to
+/// StatsSink means adding exactly one schema row — the three consumers
+/// cannot drift from the struct or from each other.
+struct SinkCounterField {
+  const char* name;
+  const char* help;
+  Counter StatsSink::*member;
+};
+struct SinkGaugeField {
+  const char* name;
+  const char* help;
+  Gauge StatsSink::*member;
+};
+struct SinkHistogramField {
+  const char* name;
+  const char* help;
+  Histogram StatsSink::*member;
+};
+const std::vector<SinkCounterField>& SinkCounterFields();
+const std::vector<SinkGaugeField>& SinkGaugeFields();
+const std::vector<SinkHistogramField>& SinkHistogramFields();
+
 /// Labelled collection of sinks plus free-form metadata, rendered as
 /// aligned human text or one stable JSON object. The registry does not
 /// own the sinks; they must outlive it (in practice: sinks live in the
@@ -132,6 +157,15 @@ class StatsRegistry {
   /// were attached, so the key set is stable either way.
   std::string RenderJson() const;
 
+  /// Prometheus/OpenMetrics text exposition: every schema metric as one
+  /// family (# HELP / # TYPE, then one series per registered sink with a
+  /// sink="label" label), histograms as cumulative _bucket{le=...}/_sum/
+  /// _count over the BucketLowerBound boundaries, attribution tables as
+  /// per-query series (query="id"), plus nw_info/nw_meta for the metadata
+  /// and nw_process_* machine context. Implemented by the NWPulse layer
+  /// (obs/pulse.cc); name/label scheme in docs/OBSERVABILITY.md.
+  std::string RenderProm() const;
+
  private:
   struct Meta {
     std::string key;
@@ -148,6 +182,11 @@ class StatsRegistry {
 
 /// Appends `s` to `*out` as a JSON string literal (quotes + escapes).
 void AppendJsonString(std::string* out, const std::string& s);
+
+/// Appends `v` with 4 decimals — or `null` when `v` is NaN or ±Inf,
+/// which are not JSON and must never reach a rendered report. Every
+/// double the stats/pulse renderers emit goes through this.
+void AppendJsonDouble(std::string* out, double v);
 
 }  // namespace nw
 

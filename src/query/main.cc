@@ -44,6 +44,23 @@
 //                   object on the last stdout line (match lines are
 //                   unchanged; the per-document text stats are folded
 //                   into the JSON instead of printed)
+//   --stats=prom    same instrumentation, rendered as a Prometheus/
+//                   OpenMetrics text exposition on stdout (the scrape a
+//                   daemon would serve; name/label scheme in
+//                   docs/OBSERVABILITY.md)
+//   --stats-interval=MS
+//                   NWPulse: sample the stats registry every MS
+//                   milliseconds on a background thread while documents
+//                   stream, appending one self-describing JSONL record
+//                   per tick — interval deltas, rates, interval latency
+//                   percentiles, per-shard utilization (implies --stats)
+//   --pulse-file F  JSONL destination for --stats-interval ("-" or
+//                   default: stderr; under --watch a file must be named
+//                   explicitly — the live frame owns stderr)
+//   --watch         live terminal view, re-rendered every interval on
+//                   stderr: run progress, docs/s, MB/s, interval
+//                   p50/p99, frozen hit rate, per-shard utilization
+//                   (implies --stats-interval=500 unless set)
 //   --quiet         suppress per-query match lines
 //
 // Setting the NWQUERY_TRACE environment variable to a file path ("-" for
@@ -61,6 +78,7 @@
 #include <vector>
 
 #include "obs/prof.h"
+#include "obs/pulse.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 #include "opt/pipeline.h"
@@ -93,7 +111,15 @@ struct Options {
   uint64_t seed = 42;
   bool stats = false;
   bool stats_json = false;
+  bool stats_prom = false;
+  uint64_t stats_interval_ms = 0;  ///< 0 = no NWPulse sampler
+  std::string pulse_file;
+  bool watch = false;
   bool quiet = false;
+
+  /// True when the per-document/serve text stat lines should print —
+  /// the machine renderings (json, prom) fold them into the final dump.
+  bool stats_text() const { return stats && !stats_json && !stats_prom; }
 };
 
 int Usage() {
@@ -101,7 +127,9 @@ int Usage() {
                "usage: nwquery [--opt none|rewrite|min|bank|all] "
                "[--format xml|json|trace] "
                "[--threads N] [--freeze[=train.xml,...]] [--random N] "
-               "[--positions P] [--depth D] [--seed S] [--stats[=json]] "
+               "[--positions P] [--depth D] [--seed S] "
+               "[--stats[=json|prom]] [--stats-interval MS] "
+               "[--pulse-file F] [--watch] "
                "[--quiet] <query-file> [xml-file ...]\n");
   return 2;
 }
@@ -211,6 +239,42 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     } else if (arg == "--stats=json") {
       opt->stats = true;
       opt->stats_json = true;
+    } else if (arg == "--stats=prom") {
+      opt->stats = true;
+      opt->stats_prom = true;
+    } else if (arg == "--stats-interval" ||
+               arg.rfind("--stats-interval=", 0) == 0) {
+      if (arg == "--stats-interval") {
+        if (!value(&v)) return false;
+      } else if (!ParseUint(arg.c_str() + std::strlen("--stats-interval="),
+                            &v)) {
+        std::fprintf(stderr,
+                     "nwquery: --stats-interval needs a numeric value\n");
+        return false;
+      }
+      if (v == 0) {
+        std::fprintf(stderr, "nwquery: --stats-interval must be >= 1 ms\n");
+        return false;
+      }
+      opt->stats_interval_ms = v;
+      opt->stats = true;
+    } else if (arg == "--pulse-file" || arg.rfind("--pulse-file=", 0) == 0) {
+      if (arg == "--pulse-file") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "nwquery: --pulse-file needs a path\n");
+          return false;
+        }
+        opt->pulse_file = argv[++i];
+      } else {
+        opt->pulse_file = arg.substr(std::strlen("--pulse-file="));
+      }
+      if (opt->pulse_file.empty()) {
+        std::fprintf(stderr, "nwquery: --pulse-file needs a path\n");
+        return false;
+      }
+    } else if (arg == "--watch") {
+      opt->watch = true;
+      opt->stats = true;
     } else if (arg == "--quiet") {
       opt->quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -219,6 +283,12 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     } else {
       positional.push_back(std::move(arg));
     }
+  }
+  // --watch and --pulse-file are sampler consumers: arm the sampler at
+  // its default cadence when no interval was given explicitly.
+  if ((opt->watch || !opt->pulse_file.empty()) &&
+      opt->stats_interval_ms == 0) {
+    opt->stats_interval_ms = 500;
   }
   // Sharding needs the immutable snapshot (a lazily-memoized SharedBank
   // mutates while streaming and cannot back concurrent engines).
@@ -251,6 +321,51 @@ bool ReadFile(const std::string& path, std::string* out) {
   buf << f.rdbuf();
   *out = buf.str();
   return true;
+}
+
+/// The NWPulse JSONL destination, closed on scope exit when owned (an
+/// explicit --pulse-file; "-" and the default map to stderr, not owned).
+struct PulseOutput {
+  std::FILE* f = nullptr;
+  bool owned = false;
+  ~PulseOutput() {
+    if (owned && f != nullptr) std::fclose(f);
+  }
+};
+
+bool OpenPulseOutput(const Options& opt, PulseOutput* out) {
+  if (!opt.pulse_file.empty() && opt.pulse_file != "-") {
+    out->f = std::fopen(opt.pulse_file.c_str(), "w");
+    if (out->f == nullptr) {
+      std::fprintf(stderr, "nwquery: cannot open %s\n",
+                   opt.pulse_file.c_str());
+      return false;
+    }
+    out->owned = true;
+    return true;
+  }
+  // Default destination is stderr — except under --watch, whose live
+  // frame owns the terminal; there JSONL needs an explicit file.
+  if (!opt.pulse_file.empty() || !opt.watch) out->f = stderr;
+  return true;
+}
+
+/// Arms the NWPulse background sampler when --stats-interval is set. The
+/// registry must be fully registered (sinks and attribution tables) —
+/// registration mutates the lists the scraper iterates.
+std::unique_ptr<PulseSampler> StartSampler(const Options& opt,
+                                           const StatsRegistry& registry,
+                                           PulseOutput* pulse_out,
+                                           const PulseProgress* progress) {
+  if (opt.stats_interval_ms == 0) return nullptr;
+  PulseSampler::Options po;
+  po.interval_ms = opt.stats_interval_ms;
+  po.jsonl = pulse_out->f;
+  po.watch = opt.watch;
+  po.progress = progress;
+  auto sampler = std::make_unique<PulseSampler>(&registry, po);
+  sampler->Start();
+  return sampler;
 }
 
 /// Builds the random-document generator alphabet: the element names the
@@ -321,7 +436,7 @@ void EvaluateDocument(const std::string& label, const std::string& text,
     }
     PrintMatchLines(label, results, first_match, query_texts);
   }
-  if (opt.stats && !opt.stats_json) {
+  if (opt.stats_text()) {
     std::printf(
         "%s\tstats\tpositions=%zu matched=%zu/%zu max_depth=%zu "
         "resident_states=%zu traversals=%zu\n",
@@ -331,12 +446,15 @@ void EvaluateDocument(const std::string& label, const std::string& text,
   }
 }
 
-/// Final NWStats dump: one stable JSON object (--stats=json) or the
-/// aligned text rendering appended after the per-document lines.
+/// Final NWStats dump: one stable JSON object (--stats=json), the
+/// Prometheus text exposition (--stats=prom), or the aligned text
+/// rendering appended after the per-document lines.
 void RenderStats(const StatsRegistry& registry, const Options& opt) {
   if (!opt.stats) return;
   if (opt.stats_json) {
     std::printf("%s\n", registry.RenderJson().c_str());
+  } else if (opt.stats_prom) {
+    std::fputs(registry.RenderProm().c_str(), stdout);
   } else {
     std::fputs(registry.RenderText().c_str(), stdout);
   }
@@ -416,8 +534,18 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
                              opt.format);
   if (opt.stats) evaluator.AttachStats(registry);
   evaluator.set_tracer(tracer);
+  // NWPulse: sample while the corpus streams. Registration (main sink,
+  // shard sinks, attribution tables) is complete at this point; the
+  // evaluator's progress cells feed the live --watch view.
+  PulseOutput pulse_out;
+  if (opt.stats_interval_ms > 0 && !OpenPulseOutput(opt, &pulse_out)) {
+    return 1;
+  }
+  std::unique_ptr<PulseSampler> sampler =
+      StartSampler(opt, *registry, &pulse_out, &evaluator.progress());
   std::vector<DocResult> results =
       evaluator.EvaluateCorpus(corpus, *alphabet, !opt.quiet);
+  if (sampler != nullptr) sampler->Stop();
   for (size_t d = 0; d < results.size(); ++d) {
     size_t matched = 0;
     for (bool hit : results[d].accept) matched += hit;
@@ -425,7 +553,7 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
       PrintMatchLines(labels[d], results[d].accept, results[d].first_match,
                       query_texts);
     }
-    if (opt.stats && !opt.stats_json) {
+    if (opt.stats_text()) {
       std::printf("%s\tstats\tpositions=%zu matched=%zu/%zu\n",
                   labels[d].c_str(), results[d].positions, matched,
                   results[d].accept.size());
@@ -434,7 +562,7 @@ int ServeFrozen(const Options& opt, OptimizedBank* bank, Alphabet* alphabet,
   if (opt.stats) {
     const ServeStats& s = evaluator.stats();
     registry->SetMetaNum("frozen_states", frozen.num_states());
-    if (!opt.stats_json) {
+    if (opt.stats_text()) {
       // A corpus that never stepped the bank (e.g. zero documents) has
       // no meaningful hit rate; print n/a instead of a vacuous 1.0.
       char rate[32];
@@ -510,7 +638,7 @@ int main(int argc, char** argv) {
   Symbol other = alphabet.Intern("%other");
   const size_t num_symbols = alphabet.size();
   OptimizedBank bank = OptimizeBank(queries, num_symbols, opt.opt);
-  if (opt.stats && !opt.stats_json) {
+  if (opt.stats_text()) {
     std::printf("compile\tstats\topt=%s queries=%zu states_compiled=%zu "
                 "states_final=%zu shared_bank=%s\n",
                 opt.opt_level.c_str(), bank.queries.size(),
@@ -566,6 +694,14 @@ int main(int argc, char** argv) {
     engine.set_attribution(&attribution);
     if (bank.shared != nullptr) bank.shared->set_stats(&main_sink);
   }
+  // NWPulse on the single-stream path: no corpus cursor to report, but
+  // the same per-interval counter/latency series (progress = null).
+  PulseOutput pulse_out;
+  if (opt.stats_interval_ms > 0 && !OpenPulseOutput(opt, &pulse_out)) {
+    return 1;
+  }
+  std::unique_ptr<PulseSampler> sampler =
+      StartSampler(opt, registry, &pulse_out, nullptr);
 
   for (const std::string& path : opt.xml_files) {
     std::string text;
@@ -583,6 +719,7 @@ int main(int argc, char** argv) {
                        query_texts, &alphabet, &engine, opt, tracer.get());
     }
   }
+  if (sampler != nullptr) sampler->Stop();
   RenderStats(registry, opt);
   return 0;
 }

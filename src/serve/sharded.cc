@@ -45,7 +45,10 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
     const std::vector<std::string>& corpus, const Alphabet& alphabet,
     bool track_matches) {
   std::vector<DocResult> results(corpus.size());
-  std::atomic<size_t> cursor{0};
+  // The shared cursor doubles as the NWPulse progress hook: a sampler
+  // thread reads it (and docs/bytes done) mid-run via progress().
+  progress_.Reset(corpus.size());
+  std::atomic<uint64_t>& cursor = progress_.cursor;
   std::atomic<size_t> hits{0}, misses{0}, total_positions{0};
   // Each worker owns every piece of mutable state it touches: the engine
   // (run state), the overflow bank (snapshot-miss escape hatch), the
@@ -95,12 +98,19 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
           r.first_match[q] = engine.first_match(q);
         }
       }
-      busy_us += static_cast<uint64_t>(doc_sw.ElapsedUs());
+      uint64_t doc_us = static_cast<uint64_t>(doc_sw.ElapsedUs());
+      busy_us += doc_us;
       if (sink != nullptr) {
         sink->shard_docs.Inc();
         sink->shard_bytes.Add(corpus[i].size());
         sink->shard_positions.Add(r.positions);
+        // Published per document (not at join) so a sampler's interval
+        // busy delta is live utilization, not an end-of-run step.
+        sink->shard_busy_us.Add(doc_us);
       }
+      progress_.docs_done.fetch_add(1, std::memory_order_relaxed);
+      progress_.bytes_done.fetch_add(corpus[i].size(),
+                                     std::memory_order_relaxed);
       span.Note("shard", shard);
       span.Note("positions", r.positions);
       span.Note("bytes", corpus[i].size());
@@ -114,8 +124,9 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
     total_positions.fetch_add(engine.positions(),
                               std::memory_order_relaxed);
     if (sink != nullptr) {
+      // busy_us went in per document above; only the wait residue lands
+      // at join time.
       uint64_t wall_us = static_cast<uint64_t>(wall.ElapsedUs());
-      sink->shard_busy_us.Add(busy_us);
       sink->shard_wait_us.Add(wall_us > busy_us ? wall_us - busy_us : 0);
     }
   };
@@ -127,6 +138,7 @@ std::vector<DocResult> ShardedEvaluator::EvaluateCorpus(
   pool.reserve(n);
   for (size_t w = 0; w < n; ++w) pool.emplace_back(worker, w);
   for (std::thread& t : pool) t.join();
+  progress_.active.store(false, std::memory_order_relaxed);
   stats_ = ServeStats{};
   stats_.documents = corpus.size();
   stats_.positions = total_positions.load();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nw/alphabet.h"
+#include "obs/pulse.h"
 #include "serve/frozen_bank.h"
 #include "stream/token_stream.h"
 
@@ -111,6 +112,12 @@ class ShardedEvaluator {
   /// EvaluateCorpus.
   void AttachStats(StatsRegistry* registry);
 
+  /// Live in-flight progress of the current EvaluateCorpus call (corpus
+  /// cursor, documents/bytes completed), readable mid-run by an NWPulse
+  /// sampler while the shards write. Re-armed at the start of each call;
+  /// `active` drops to false when the call returns.
+  const PulseProgress& progress() const { return progress_; }
+
   /// Attaches an opt-in span tracer (obs/trace.h): each document then
   /// writes one "doc" span (shard, corpus index, positions, bytes).
   /// nullptr (the default) disables tracing. `tracer` must outlive the
@@ -128,6 +135,10 @@ class ShardedEvaluator {
   std::vector<std::unique_ptr<StatsSink>> sinks_;
   /// One NWProf attribution table per shard, parallel to sinks_.
   std::vector<std::unique_ptr<QueryAttribution>> attrs_;
+  /// Multi-writer progress cells (shards fetch_add per document) — the
+  /// one place the serve loop deviates from the single-writer metric
+  /// discipline, because a cursor is shared by construction.
+  PulseProgress progress_;
   Tracer* tracer_ = nullptr;
 };
 

@@ -232,6 +232,20 @@ TEST(StatsRegistry, FrozenHitRateIsNullWithoutTraffic) {
   EXPECT_EQ(reg2.RenderText().find("n/a"), std::string::npos);
 }
 
+TEST(StatsRegistry, AllZeroSinkRendersFiniteJson) {
+  // Satellite regression for the double-rendering audit: a registry over
+  // a sink that never saw traffic exercises every ratio key's 0/0 path
+  // (utilization, hit_rate, rates) — none may leak a bare nan/inf token;
+  // the degenerate ones must render as JSON null.
+  StatsSink zero;
+  StatsRegistry reg;
+  reg.Register("main", &zero);
+  std::string json = reg.RenderJson();
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hit_rate\":null"), std::string::npos);
+}
+
 TEST(StatsRegistry, JsonStringEscaping) {
   std::string out;
   AppendJsonString(&out, "a\"b\\c\nd\te");

@@ -17,9 +17,17 @@ baseline and classifies every metric delta:
 Modes::
 
     bench_diff.py baseline.json current.json     # compare two reports
+    bench_diff.py --shape baseline.json current.json
+                                                 # key sets only: did the
+                                                 # report SHAPE change?
     bench_diff.py --trajectory BENCH_trajectory.json
                                                  # sanity-check the log
     bench_diff.py --selftest                     # fixture-based selftest
+
+``--shape`` is the baseline-regeneration gate: it ignores every value and
+fails only when the metric key sets differ — exactly the condition under
+which ``tools/baselines/`` must be regenerated (and the only one; value
+drift alone never justifies moving a baseline).
 
 Exit codes: 0 = clean (warnings allowed), 1 = regression, 2 = unusable
 input (missing file, mismatched bench/quick mode, bad JSON).
@@ -98,6 +106,14 @@ def compare(baseline, current, tolerance, timing_tolerance, fail_on_timing,
             warnings.append(f"new metric (no baseline): {key}")
             continue
         base, cur = base_metrics[key], cur_metrics[key]
+        if not isinstance(base, (int, float)) or \
+                not isinstance(cur, (int, float)):
+            # The reports render degenerate ratios (0/0) as null rather
+            # than corrupt the JSON; a null where the baseline has a
+            # number is structural breakage, not noise.
+            failures.append(f"metric {key} is not numeric "
+                            f"(baseline {base!r}, current {cur!r})")
+            continue
         delta = rel_delta(base, cur)
         if is_timing(key):
             if not timing_comparable:
@@ -120,6 +136,34 @@ def compare(baseline, current, tolerance, timing_tolerance, fail_on_timing,
         print(f"bench_diff: OK {current['bench']}: "
               f"{len(cur_metrics)} metrics within tolerance", file=out)
     return failures, warnings
+
+
+def compare_shape(baseline, current, out=sys.stdout):
+    """Key-set-only comparison. Returns failure messages: non-empty iff
+    the metric key sets differ, i.e. the committed baseline's shape is
+    stale and must be regenerated."""
+    failures = []
+    if baseline["bench"] != current["bench"]:
+        raise SystemExit(
+            f"bench_diff: bench mismatch: baseline is "
+            f"{baseline['bench']!r}, current is {current['bench']!r}")
+    base_keys = set(baseline["metrics"])
+    cur_keys = set(current["metrics"])
+    for key in sorted(cur_keys - base_keys):
+        failures.append(f"shape: new metric {key} has no baseline entry")
+    for key in sorted(base_keys - cur_keys):
+        failures.append(f"shape: baseline metric {key} no longer reported")
+    for msg in failures:
+        print(f"bench_diff: FAIL {msg}", file=out)
+    if failures:
+        print(f"bench_diff: report shape changed — regenerate the "
+              f"committed baseline under tools/baselines/ "
+              f"({baseline['bench']}.quick.json) in this same PR",
+              file=out)
+    else:
+        print(f"bench_diff: OK {current['bench']}: shape unchanged "
+              f"({len(cur_keys)} metrics)", file=out)
+    return failures
 
 
 def check_trajectory(path, out=sys.stdout):
@@ -231,6 +275,21 @@ def selftest():
     f, w = compare(base, report(new_metric=1.0), 0.001, 0.25, False, out=sink)
     expect(not f and w, "a new metric must warn only")
 
+    # A null value where the baseline has a number is structural.
+    f, w = compare(base, report(minimization_ratio=None), 0.001, 0.25,
+                   False, out=sink)
+    expect(f, "a null metric must fail")
+
+    # Shape mode: values are ignored, key-set drift is the only failure.
+    f = compare_shape(base, report(minimization_ratio=0.9), out=sink)
+    expect(not f, "shape mode must ignore value drift")
+    f = compare_shape(base, report(new_metric=1.0), out=sink)
+    expect(f, "shape mode must fail on a new metric")
+    gone = report()
+    del gone["metrics"]["minimization_ratio"]
+    f = compare_shape(base, gone, out=sink)
+    expect(f, "shape mode must fail on a vanished metric")
+
     # Mismatched bench names / quick modes are unusable input (exit 2).
     for bad in (report(bench="bench_other"), report(quick=False)):
         try:
@@ -258,6 +317,9 @@ def main(argv):
     parser.add_argument("--fail-on-timing", action="store_true",
                         help="treat timing drift beyond tolerance as "
                              "failure instead of warning")
+    parser.add_argument("--shape", action="store_true",
+                        help="compare metric key sets only — the gate "
+                             "for regenerating tools/baselines/")
     parser.add_argument("--trajectory", metavar="FILE",
                         help="sanity-check a BENCH_trajectory.json log "
                              "instead of diffing two reports")
@@ -274,6 +336,8 @@ def main(argv):
                      "current.json")
     baseline = load_report(args.reports[0])
     current = load_report(args.reports[1])
+    if args.shape:
+        return 1 if compare_shape(baseline, current) else 0
     failures, _ = compare(baseline, current, args.tolerance,
                           args.timing_tolerance, args.fail_on_timing)
     return 1 if failures else 0

@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""check_pulse — validator for the two NWPulse wire formats.
+
+Subcommands::
+
+    check_pulse.py prom FILE      # Prometheus/OpenMetrics text exposition
+    check_pulse.py series FILE    # --stats-interval JSONL time series
+    check_pulse.py --selftest     # fixture-based selftest
+
+``prom`` parses an ``nwquery --stats=prom`` dump: every series line must
+match the exposition grammar (metric and label names, escaped label
+values), every series must follow its family's ``# HELP``/``# TYPE``
+pair, histogram ``le`` bounds must be strictly increasing with
+non-decreasing cumulative counts, and ``_count`` must equal the ``+Inf``
+bucket.
+
+``series`` parses a ``--stats-interval`` JSONL file: every line is one
+valid JSON object, the first is the ``pulse_start`` header (with a
+``version`` and the baseline totals), ``seq`` increases by one per tick,
+every per-interval delta is a non-negative number, and the baseline plus
+the sum of interval deltas reproduces the final tick's cumulative totals
+EXACTLY — the snapshot/delta engine's accounting identity.
+
+Exit codes: 0 = valid, 1 = violation, 2 = unusable input.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# Label values: escaped backslash/quote/newline, no raw quote.
+LABEL_VALUE = r'"(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+LABELS = rf"\{{{LABEL_NAME}={LABEL_VALUE}(?:,{LABEL_NAME}={LABEL_VALUE})*\}}"
+VALUE = r"[0-9.eE+-]+|\+Inf|-Inf|NaN"
+SERIES_RE = re.compile(rf"^({METRIC_NAME})({LABELS})? ({VALUE})$")
+HELP_RE = re.compile(rf"^# HELP ({METRIC_NAME}) (.+)$")
+TYPE_RE = re.compile(
+    rf"^# TYPE ({METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$")
+LE_RE = re.compile(r'le="([^"]*)"')
+SINK_RE = re.compile(r'sink="((?:[^"\\]|\\.)*)"')
+
+# The keys every pulse tick must carry (the self-describing schema the
+# docs pin; a consumer may rely on these being present).
+TICK_KEYS = ("type", "seq", "t_us", "interval_us", "totals", "delta",
+             "rate", "latency_us", "frozen_hit_rate", "shards", "process")
+
+
+def family_of(name):
+    """Maps a series name to its family: histogram series drop the
+    _bucket/_sum/_count suffix, counter series keep _total (the family is
+    declared with it)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_prom(text):
+    """Returns a list of violation messages for an exposition dump."""
+    failures = []
+    declared = {}  # family -> type
+    seen_help = set()
+    # (family, sink) -> list of (le, cum) plus sum/count scalars.
+    buckets = {}
+    counts = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            m = HELP_RE.match(line)
+            if not m:
+                failures.append(f"{where}: malformed HELP: {line!r}")
+                continue
+            seen_help.add(m.group(1))
+            continue
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                failures.append(f"{where}: malformed TYPE: {line!r}")
+                continue
+            name = m.group(1)
+            if name not in seen_help:
+                failures.append(f"{where}: TYPE for {name} precedes HELP")
+            if name in declared:
+                failures.append(f"{where}: duplicate TYPE for {name}")
+            declared[name] = m.group(2)
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal
+        m = SERIES_RE.match(line)
+        if not m:
+            failures.append(f"{where}: malformed series line: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        fam = family_of(name)
+        if fam not in declared:
+            failures.append(
+                f"{where}: series {name} has no # TYPE declaration")
+            continue
+        kind = declared[fam]
+        if kind == "counter" and not name.endswith("_total") and \
+                fam == name:
+            failures.append(
+                f"{where}: counter series {name} must end in _total")
+        if kind == "histogram":
+            sink_m = SINK_RE.search(labels)
+            sink = sink_m.group(1) if sink_m else ""
+            key = (fam, sink)
+            if name.endswith("_bucket"):
+                le_m = LE_RE.search(labels)
+                if not le_m:
+                    failures.append(
+                        f"{where}: histogram bucket without le: {line!r}")
+                    continue
+                le = le_m.group(1)
+                le_v = math.inf if le == "+Inf" else float(le)
+                buckets.setdefault(key, []).append(
+                    (lineno, le_v, float(value)))
+            elif name.endswith("_count"):
+                counts[key] = (lineno, float(value))
+    for key, rows in sorted(buckets.items()):
+        fam, sink = key
+        tag = f'{fam}{{sink="{sink}"}}'
+        prev_le, prev_cum = -math.inf, -1.0
+        for lineno, le_v, cum in rows:
+            if le_v <= prev_le:
+                failures.append(
+                    f"line {lineno}: {tag}: le {le_v} not increasing")
+            if cum < prev_cum:
+                failures.append(
+                    f"line {lineno}: {tag}: cumulative count decreased")
+            prev_le, prev_cum = le_v, cum
+        if rows[-1][1] != math.inf:
+            failures.append(f"{tag}: missing le=\"+Inf\" bucket")
+        if key not in counts:
+            failures.append(f"{tag}: buckets without a _count series")
+        elif counts[key][1] != rows[-1][2]:
+            failures.append(
+                f"line {counts[key][0]}: {tag}: _count {counts[key][1]} "
+                f"!= +Inf bucket {rows[-1][2]}")
+    if not declared:
+        failures.append("no metric families declared at all")
+    return failures
+
+
+def check_series(lines):
+    """Returns a list of violation messages for a pulse JSONL series."""
+    failures = []
+    records = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append((lineno, json.loads(line)))
+        except json.JSONDecodeError as e:
+            failures.append(f"line {lineno}: not valid JSON: {e}")
+    if failures or not records:
+        return failures or ["empty series"]
+    lineno, head = records[0]
+    if head.get("type") != "pulse_start":
+        failures.append(f"line {lineno}: first record must be pulse_start")
+        return failures
+    if not isinstance(head.get("version"), int):
+        failures.append(f"line {lineno}: pulse_start has no int version")
+    if "totals" not in head:
+        failures.append(f"line {lineno}: pulse_start has no baseline totals")
+        return failures
+    acc = dict.fromkeys(head["totals"], 0)
+    expect_seq = 0
+    last = None
+    for lineno, rec in records[1:]:
+        where = f"line {lineno}"
+        if rec.get("type") != "pulse":
+            failures.append(f"{where}: unexpected record type "
+                            f"{rec.get('type')!r}")
+            continue
+        for key in TICK_KEYS:
+            if key not in rec:
+                failures.append(f"{where}: tick missing key {key!r}")
+        if rec.get("seq") != expect_seq:
+            failures.append(f"{where}: seq {rec.get('seq')} != expected "
+                            f"{expect_seq}")
+        expect_seq = (rec.get("seq", expect_seq)) + 1
+        for key, v in rec.get("delta", {}).items():
+            if not isinstance(v, (int, float)) or v < 0:
+                failures.append(
+                    f"{where}: delta.{key} = {v!r} (negative or non-number)")
+            elif key in acc:
+                acc[key] += v
+        for shard in rec.get("shards", []):
+            for k in ("label", "docs", "bytes", "busy_us"):
+                if k not in shard:
+                    failures.append(f"{where}: shard row missing {k!r}")
+        last = (lineno, rec)
+    if last is None:
+        failures.append("series has a header but no pulse ticks")
+        return failures
+    lineno, final = last
+    for key, baseline in head["totals"].items():
+        want = final.get("totals", {}).get(key)
+        got = baseline + acc.get(key, 0)
+        if want != got:
+            failures.append(
+                f"line {lineno}: totals.{key}: baseline {baseline} + "
+                f"sum-of-deltas {acc.get(key, 0)} != final {want} "
+                "(the delta accounting identity is broken)")
+    return failures
+
+
+def selftest():
+    checks = 0
+
+    def expect(cond, what):
+        nonlocal checks
+        checks += 1
+        if not cond:
+            raise SystemExit(f"check_pulse --selftest: FAILED: {what}")
+
+    good_prom = "\n".join([
+        '# HELP nw_docs_total docs',
+        '# TYPE nw_docs_total counter',
+        'nw_docs_total{sink="main"} 3',
+        'nw_docs_total{sink="shard/0"} 2',
+        '# HELP nw_lat_us latency',
+        '# TYPE nw_lat_us histogram',
+        'nw_lat_us_bucket{sink="main",le="100"} 1',
+        'nw_lat_us_bucket{sink="main",le="200"} 3',
+        'nw_lat_us_bucket{sink="main",le="+Inf"} 3',
+        'nw_lat_us_sum{sink="main"} 350',
+        'nw_lat_us_count{sink="main"} 3',
+        '# HELP nw_info meta',
+        '# TYPE nw_info gauge',
+        'nw_info{mode="frozen",note="a\\nb"} 1',
+    ])
+    expect(not check_prom(good_prom), "valid exposition must pass")
+    expect(check_prom(good_prom.replace('le="200"', 'le="50"')),
+           "non-monotone le must fail")
+    expect(check_prom(good_prom.replace('nw_lat_us_count{sink="main"} 3',
+                                        'nw_lat_us_count{sink="main"} 4')),
+           "_count != +Inf bucket must fail")
+    expect(check_prom(good_prom.replace('# TYPE nw_docs_total counter\n',
+                                        '')),
+           "series without TYPE must fail")
+    expect(check_prom('nw_bad{le="} 1'), "malformed line must fail")
+
+    def tick(seq, docs_total, docs_delta):
+        return json.dumps({
+            "type": "pulse", "seq": seq, "t_us": 100 * (seq + 1),
+            "interval_us": 100, "totals": {"engine_docs": docs_total},
+            "delta": {"engine_docs": docs_delta},
+            "rate": {"docs_per_s": None}, "latency_us": {"count": 0},
+            "frozen_hit_rate": None,
+            "shards": [{"label": "main", "docs": 0, "bytes": 0,
+                        "positions": 0, "busy_us": 0, "utilization": None}],
+            "process": {"rss_peak_kb": 1}})
+
+    head = json.dumps({"type": "pulse_start", "version": 1,
+                       "interval_ms": 5, "t_us": 0, "labels": ["main"],
+                       "totals": {"engine_docs": 10}})
+    good = [head, tick(0, 14, 4), tick(1, 17, 3)]
+    expect(not check_series(good), "valid series must pass")
+    expect(check_series([head, tick(0, 14, 4), tick(1, 18, 3)]),
+           "broken accounting identity must fail")
+    expect(check_series([head, tick(0, 14, 4), tick(2, 17, 3)]),
+           "seq gap must fail")
+    expect(check_series([tick(0, 14, 4)]),
+           "series without pulse_start must fail")
+    expect(check_series([head, '{"type": "pulse", "seq": 0']),
+           "truncated JSON line must fail")
+    bad_delta = json.loads(tick(1, 17, 3))
+    bad_delta["delta"]["engine_docs"] = -3
+    expect(check_series([head, tick(0, 14, 4), json.dumps(bad_delta)]),
+           "negative delta must fail")
+
+    print(f"check_pulse --selftest: OK ({checks} checks)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate NWPulse wire formats (prom / JSONL series).")
+    parser.add_argument("mode", nargs="?", choices=["prom", "series"])
+    parser.add_argument("file", nargs="?")
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if not args.mode or not args.file:
+        parser.error("expected: prom FILE | series FILE | --selftest")
+    try:
+        with open(args.file) as f:
+            content = f.read()
+    except OSError as e:
+        print(f"check_pulse: cannot read {args.file}: {e}", file=sys.stderr)
+        return 2
+    if args.mode == "prom":
+        failures = check_prom(content)
+    else:
+        failures = check_series(content.splitlines())
+    for msg in failures:
+        print(f"check_pulse: FAIL {msg}")
+    if not failures:
+        kind = "exposition" if args.mode == "prom" else "series"
+        print(f"check_pulse: OK {args.file}: valid {kind}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
