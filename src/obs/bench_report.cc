@@ -1,6 +1,7 @@
 #include "obs/bench_report.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -15,6 +16,15 @@ BenchConfig ParseBenchConfig(int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     if (std::strcmp(argv[i], "--report=json") == 0) {
       cfg.report_json = true;
+    } else if (std::strncmp(argv[i], "--report", 8) == 0 &&
+               (argv[i][8] == '\0' || argv[i][8] == '=')) {
+      // Fail fast on "--report=csv" and friends instead of forwarding
+      // them to benchmark::Initialize, which used to swallow the typo
+      // and run the bench in table mode — CI then archived no report.
+      std::fprintf(stderr,
+                   "%s: unknown --report value '%s' (want --report=json)\n",
+                   argv[0], argv[i][8] == '=' ? argv[i] + 9 : "");
+      std::exit(2);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       cfg.quick = true;
     } else {

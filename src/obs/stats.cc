@@ -64,6 +64,16 @@ const std::vector<SinkCounterField>& SinkCounterFields() {
        &StatsSink::shard_wait_us},
       {"split_chunks", "chunks SplitTopLevel produced",
        &StatsSink::split_chunks},
+      {"daemon_requests", "protocol requests accepted (all ops)",
+       &StatsSink::daemon_requests},
+      {"daemon_docs", "documents submitted for evaluation",
+       &StatsSink::daemon_docs},
+      {"daemon_admissions", "queries admitted online",
+       &StatsSink::daemon_admissions},
+      {"daemon_retirements", "queries retired online",
+       &StatsSink::daemon_retirements},
+      {"daemon_refreshes", "background epoch re-freezes published",
+       &StatsSink::daemon_refreshes},
   };
   return kFields;
 }
@@ -74,6 +84,8 @@ const std::vector<SinkGaugeField>& SinkGaugeFields() {
        &StatsSink::stream_depth_hwm},
       {"split_max_chunk_bytes", "largest SplitTopLevel chunk (skew witness)",
        &StatsSink::split_max_chunk_bytes},
+      {"daemon_epoch", "current serving epoch id",
+       &StatsSink::daemon_epoch},
   };
   return kFields;
 }
@@ -84,6 +96,8 @@ const std::vector<SinkHistogramField>& SinkHistogramFields() {
        &StatsSink::doc_latency_us},
       {"split_chunk_bytes", "SplitTopLevel chunk size distribution",
        &StatsSink::split_chunk_bytes},
+      {"admission_latency_us", "ADMIT wall time, parse to epoch live (us)",
+       &StatsSink::admission_latency_us},
   };
   return kFields;
 }
@@ -381,6 +395,21 @@ std::string StatsRegistry::RenderJson() const {
         agg.overflow_escalations.value());
   Field(&out, &first, "overflow_mapbacks", agg.overflow_mapbacks.value());
   out += "},";
+  // daemon (all-zero outside nwqueryd, so the key set is stable)
+  AppendJsonString(&out, "daemon");
+  out += ":{";
+  first = true;
+  Field(&out, &first, "requests", agg.daemon_requests.value());
+  Field(&out, &first, "documents", agg.daemon_docs.value());
+  Field(&out, &first, "admissions", agg.daemon_admissions.value());
+  Field(&out, &first, "retirements", agg.daemon_retirements.value());
+  Field(&out, &first, "refreshes", agg.daemon_refreshes.value());
+  Field(&out, &first, "epoch", agg.daemon_epoch.value());
+  if (!first) out.push_back(',');
+  AppendJsonString(&out, "admission_latency_us");
+  out.push_back(':');
+  AppendHistogram(&out, agg.admission_latency_us);
+  out += "},";
   // serve
   AppendJsonString(&out, "serve");
   out += ":{";
@@ -478,6 +507,19 @@ std::string StatsRegistry::RenderText() const {
                 agg.overflow_escalations.value(),
                 agg.overflow_mapbacks.value());
   out += buf;
+  if (agg.daemon_requests.value() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "daemon   requests=%" PRIu64 " documents=%" PRIu64
+                  " admissions=%" PRIu64 " retirements=%" PRIu64
+                  " refreshes=%" PRIu64 " epoch=%" PRIu64
+                  " admit_p99_us=%" PRIu64 "\n",
+                  agg.daemon_requests.value(), agg.daemon_docs.value(),
+                  agg.daemon_admissions.value(),
+                  agg.daemon_retirements.value(),
+                  agg.daemon_refreshes.value(), agg.daemon_epoch.value(),
+                  agg.admission_latency_us.Percentile(0.99));
+    out += buf;
+  }
   if (!attrs_.empty()) {
     const size_t k = attrs_.front()->num_queries();
     QueryAttribution attr_agg(k);

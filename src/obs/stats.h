@@ -71,6 +71,17 @@ struct StatsSink {
   Gauge split_max_chunk_bytes;    ///< largest chunk (a giant record = skew)
   Histogram split_chunk_bytes;    ///< chunk size distribution
 
+  // -- daemon layer: NWDaemon control-plane (src/daemon/daemon.h), one
+  // sink for the whole process (control ops serialize under the daemon's
+  // admission mutex, which keeps the writes single-writer). --
+  Counter daemon_requests;     ///< protocol requests accepted (all ops)
+  Counter daemon_docs;         ///< documents submitted for evaluation
+  Counter daemon_admissions;   ///< queries admitted online
+  Counter daemon_retirements;  ///< queries retired online
+  Counter daemon_refreshes;    ///< background epoch re-freezes published
+  Gauge daemon_epoch;          ///< current serving epoch id
+  Histogram admission_latency_us;  ///< ADMIT wall time, parse → epoch live
+
   /// Reader-side aggregation: counters sum, gauges max, histograms merge.
   void MergeFrom(const StatsSink& other);
 };
@@ -149,7 +160,7 @@ class StatsRegistry {
 
   /// One JSON object with fixed key order:
   ///   {"meta":{...},"stream":{...},"engine":{...},"queries":{...},
-  ///    "compile":{...},"bank":{...},"frozen":{...},
+  ///    "compile":{...},"bank":{...},"frozen":{...},"daemon":{...},
   ///    "serve":{...,"shards":[...]}}
   /// documented key-by-key in docs/OBSERVABILITY.md. The queries and
   /// compile sections render empty ({"docs":0,...,"per_query":[]} /

@@ -242,6 +242,15 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     } else if (arg == "--stats=prom") {
       opt->stats = true;
       opt->stats_prom = true;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      // Catch the enum typo here, not in the generic unknown-option
+      // branch: "--stats=promm" should say what the valid modes are, not
+      // pretend the whole flag doesn't exist.
+      std::fprintf(stderr,
+                   "nwquery: unknown --stats mode '%s' (want text, json, "
+                   "or prom)\n",
+                   arg.c_str() + std::strlen("--stats="));
+      return false;
     } else if (arg == "--stats-interval" ||
                arg.rfind("--stats-interval=", 0) == 0) {
       if (arg == "--stats-interval") {

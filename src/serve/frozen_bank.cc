@@ -65,6 +65,11 @@ FrozenBank FrozenBank::Freeze(const SharedBank& bank,
   return f;
 }
 
+std::shared_ptr<const FrozenBank> FrozenBank::FreezeShared(
+    const SharedBank& bank, CompileTimeline* timeline) {
+  return std::make_shared<const FrozenBank>(Freeze(bank, timeline));
+}
+
 StateId FrozenBank::Return(StateId q, StateId hier, Symbol a) const {
   uint64_t key = SharedBank::PackReturnKey(q, hier, a);
   auto it = std::lower_bound(return_keys_.begin(), return_keys_.end(), key);

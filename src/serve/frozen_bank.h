@@ -28,6 +28,7 @@
 #define NW_SERVE_FROZEN_BANK_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,14 @@ class FrozenBank {
   /// re-layout wall µs over the bank's state count.
   static FrozenBank Freeze(const SharedBank& bank,
                            CompileTimeline* timeline = nullptr);
+
+  /// Epoch-handle spelling of Freeze for long-lived serving (NWDaemon):
+  /// the returned shared_ptr is the RCU unit — a publisher swaps it while
+  /// readers finish their stream over the old snapshot, and the old epoch
+  /// is reclaimed when its last holder drops the handle. Same snapshot,
+  /// same immutability contract, just heap-owned.
+  static std::shared_ptr<const FrozenBank> FreezeShared(
+      const SharedBank& bank, CompileTimeline* timeline = nullptr);
 
   size_t num_queries() const { return autos_.size(); }
   size_t num_symbols() const { return num_symbols_; }

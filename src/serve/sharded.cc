@@ -28,13 +28,34 @@ ShardedEvaluator::ShardedEvaluator(const FrozenBank* frozen,
                "frozen bank symbol space mismatch");
 }
 
-void ShardedEvaluator::AttachStats(StatsRegistry* registry) {
+void ShardedEvaluator::Rebind(std::shared_ptr<const FrozenBank> frozen,
+                              size_t num_symbols) {
+  NW_CHECK_MSG(frozen != nullptr, "Rebind() needs a live epoch snapshot");
+  NW_CHECK_MSG(frozen->num_symbols() == num_symbols,
+               "frozen bank symbol space mismatch");
+  NW_CHECK_MSG(other_ == Alphabet::kNoSymbol || other_ < num_symbols,
+               "catch-all symbol %u out of range for a %zu-symbol epoch",
+               other_, num_symbols);
+  NW_CHECK_MSG(attrs_.empty() ||
+                   attrs_[0]->num_queries() == frozen->num_queries(),
+               "attribution tables sized for %zu queries cannot follow a "
+               "rebind to a %zu-query bank; attach with with_attribution = "
+               "false for online admission",
+               attrs_[0]->num_queries(), frozen->num_queries());
+  frozen_handle_ = std::move(frozen);
+  frozen_ = frozen_handle_.get();
+  num_symbols_ = num_symbols;
+}
+
+void ShardedEvaluator::AttachStats(StatsRegistry* registry,
+                                   bool with_attribution) {
   NW_CHECK_MSG(sinks_.empty(), "AttachStats() may be called once");
   sinks_.reserve(threads_);
-  attrs_.reserve(threads_);
+  if (with_attribution) attrs_.reserve(threads_);
   for (size_t w = 0; w < threads_; ++w) {
     sinks_.push_back(std::make_unique<StatsSink>());
     registry->Register("shard/" + std::to_string(w), sinks_[w].get());
+    if (!with_attribution) continue;
     attrs_.push_back(
         std::make_unique<QueryAttribution>(frozen_->num_queries()));
     registry->RegisterAttribution(attrs_[w].get());

@@ -95,6 +95,27 @@ class ShardedEvaluator {
                                         const Alphabet& alphabet,
                                         bool track_matches);
 
+  /// Epoch swap API (NWDaemon): re-points the evaluator at a new frozen
+  /// snapshot between EvaluateCorpus calls. The evaluator keeps the
+  /// handle alive, so the previous epoch's snapshot may be released by
+  /// its publisher the moment the swap returns — workers are rebuilt per
+  /// EvaluateCorpus call and never hold the old pointer across calls.
+  /// `num_symbols` may grow across epochs (online admission interns new
+  /// element names); the catch-all symbol id is fixed at construction
+  /// and must stay in range. NOT safe concurrently with EvaluateCorpus
+  /// (the evaluator is single-dispatcher by contract); per-shard stats
+  /// sinks persist across swaps so per-epoch metrics fall out of NWPulse
+  /// snapshot deltas. If attribution tables were attached, the new bank
+  /// must keep the same query count (tables are sized to K and the
+  /// registry holds them by pointer) — attach with `with_attribution =
+  /// false` when serving a bank that admits or retires queries online.
+  void Rebind(std::shared_ptr<const FrozenBank> frozen, size_t num_symbols);
+
+  /// Selects the tokenizer front end for subsequent EvaluateCorpus calls
+  /// (a daemon batch is one format; mixed traffic is dispatched as one
+  /// call per format). Same non-concurrency contract as Rebind.
+  void set_format(InputFormat format) { format_ = format; }
+
   /// Counters of the most recent EvaluateCorpus call.
   const ServeStats& stats() const { return stats_; }
 
@@ -109,8 +130,11 @@ class ShardedEvaluator {
   /// registry's render merges the shard tables). Sinks and tables are
   /// cumulative across calls and owned by the evaluator, which must
   /// therefore outlive any registry render. Call once, before the first
-  /// EvaluateCorpus.
-  void AttachStats(StatsRegistry* registry);
+  /// EvaluateCorpus. `with_attribution = false` skips the per-query
+  /// tables — required when the evaluator will be Rebind()-ed across
+  /// banks of different sizes (online admission changes K; the sinks
+  /// are K-free and carry over, the tables are not).
+  void AttachStats(StatsRegistry* registry, bool with_attribution = true);
 
   /// Live in-flight progress of the current EvaluateCorpus call (corpus
   /// cursor, documents/bytes completed), readable mid-run by an NWPulse
@@ -126,6 +150,9 @@ class ShardedEvaluator {
 
  private:
   const FrozenBank* frozen_;
+  /// Keeps a Rebind()-ed epoch's snapshot alive; null when the evaluator
+  /// serves a caller-owned FrozenBank (the one-shot CLI path).
+  std::shared_ptr<const FrozenBank> frozen_handle_;
   size_t num_symbols_;
   Symbol other_;
   size_t threads_;

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""nwclient — command-line client for the nwqueryd control socket.
+
+Speaks the newline-delimited JSON protocol from ``docs/DAEMON.md`` over
+a Unix-domain socket. Subcommands::
+
+    nwclient.py --socket PATH submit [--format F] [--label L] [FILE...]
+    nwclient.py --socket PATH admit QUERY
+    nwclient.py --socket PATH retire QID
+    nwclient.py --socket PATH stats [--raw]
+    nwclient.py --socket PATH shutdown
+
+``submit`` sends each FILE (or stdin when no files are given) as one
+SUBMIT request and renders the response in nwquery's exact match-line
+format::
+
+    <label>\tMATCH@<pos>\tquery[<i>]\t<query text>
+    <label>\tno-match\tquery[<i>]\t<query text>
+
+so a daemon transcript diffs byte-for-byte against a one-shot
+``nwquery --docs`` run over the same documents — the identity CI's
+smoke step checks. The label defaults to the file name (``doc-N`` for
+stdin); ``--format`` tags the document (xml | json | trace) and is
+otherwise left to the daemon's default.
+
+``stats`` pretty-prints the per-epoch serving metrics (epoch id, hit
+rate, latency percentiles); ``--raw`` dumps the STATS JSON payload
+verbatim for scripts.
+
+Exit codes: 0 = every request ok, 1 = daemon error response, 2 = usage
+or connection failure.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+class ClientError(Exception):
+    pass
+
+
+class Connection:
+    """One control-socket connection; one request/response per call."""
+
+    def __init__(self, path):
+        try:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.connect(path)
+        except OSError as e:
+            raise ClientError(f"cannot connect to {path}: {e}")
+        self.file = self.sock.makefile("rw", encoding="utf-8")
+
+    def rpc(self, request):
+        self.file.write(json.dumps(request) + "\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            raise ClientError("daemon closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ClientError(f"unparseable response: {e}: {line!r}")
+        if not response.get("ok", False):
+            raise ClientError(response.get("error", "unknown daemon error"))
+        return response
+
+    def close(self):
+        try:
+            self.file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def render_match_lines(label, response, out):
+    """nwquery's per-document report, reconstructed from a SUBMIT response."""
+    for i, r in enumerate(response["results"]):
+        verdict = f"MATCH@{r['pos']}" if r["match"] else "no-match"
+        out.write(f"{label}\t{verdict}\tquery[{i}]\t{r['query']}\n")
+
+
+def cmd_submit(conn, args):
+    docs = []
+    if args.files:
+        for path in args.files:
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    text = f.read()
+            except OSError as e:
+                raise ClientError(f"cannot read {path}: {e}")
+            docs.append((args.label or path, text))
+    else:
+        docs.append((args.label or "doc-0", sys.stdin.read()))
+    for label, text in docs:
+        request = {"op": "SUBMIT", "doc": text, "label": label}
+        if args.format:
+            request["format"] = args.format
+        response = conn.rpc(request)
+        render_match_lines(label, response, sys.stdout)
+    return 0
+
+
+def cmd_admit(conn, args):
+    response = conn.rpc({"op": "ADMIT", "query": args.query})
+    print(f"admitted qid={response['qid']} epoch={response['epoch']} "
+          f"queries={response['queries']}")
+    return 0
+
+
+def cmd_retire(conn, args):
+    response = conn.rpc({"op": "RETIRE", "qid": args.qid})
+    print(f"retired qid={args.qid} epoch={response['epoch']} "
+          f"queries={response['queries']}")
+    return 0
+
+
+def cmd_stats(conn, args):
+    response = conn.rpc({"op": "STATS"})
+    stats = response["stats"]
+    if args.raw:
+        json.dump(stats, sys.stdout)
+        sys.stdout.write("\n")
+        return 0
+    kind = "refreshed" if stats["refreshed"] else "cold"
+    print(f"epoch {stats['epoch']} ({kind}): "
+          f"{len(stats['queries'])} queries, "
+          f"{stats['frozen_states']} frozen states, "
+          f"{stats['num_symbols']} symbols")
+    for q in stats["queries"]:
+        print(f"  qid={q['qid']}  {q['text']}")
+    interval = stats["interval"]
+    rate = interval["hit_rate"]
+    rate_text = "n/a (no traffic)" if rate is None else f"{rate:.4f}"
+    print(f"interval: {interval['documents']} docs, "
+          f"{interval['positions']} positions, hit rate {rate_text}, "
+          f"doc p50 {interval['doc_p50_us']}us "
+          f"p99 {interval['doc_p99_us']}us")
+    lifetime = stats["lifetime"]
+    print(f"lifetime: {lifetime['requests']} requests, "
+          f"{lifetime['documents']} docs, "
+          f"{lifetime['admissions']} admissions, "
+          f"{lifetime['retirements']} retirements, "
+          f"{lifetime['refreshes']} refreshes, "
+          f"admit p99 {lifetime['admit_p99_us']}us")
+    return 0
+
+
+def cmd_shutdown(conn, args):
+    conn.rpc({"op": "SHUTDOWN"})
+    print("shutdown acknowledged")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="nwclient.py", description=__doc__)
+    parser.add_argument("--socket", required=True,
+                        help="nwqueryd control-socket path")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="evaluate documents")
+    p.add_argument("files", nargs="*", metavar="FILE",
+                   help="documents (stdin when omitted)")
+    p.add_argument("--format", choices=["xml", "json", "trace"],
+                   help="input format tag (daemon default when omitted)")
+    p.add_argument("--label", help="report label (default: file name)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("admit", help="admit a query online")
+    p.add_argument("query", metavar="QUERY")
+    p.set_defaults(func=cmd_admit)
+
+    p = sub.add_parser("retire", help="retire a query by admission id")
+    p.add_argument("qid", type=int, metavar="QID")
+    p.set_defaults(func=cmd_retire)
+
+    p = sub.add_parser("stats", help="per-epoch serving metrics")
+    p.add_argument("--raw", action="store_true",
+                   help="dump the STATS JSON payload verbatim")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("shutdown", help="graceful daemon shutdown")
+    p.set_defaults(func=cmd_shutdown)
+
+    args = parser.parse_args(argv)
+    try:
+        conn = Connection(args.socket)
+    except ClientError as e:
+        print(f"nwclient: {e}", file=sys.stderr)
+        return 2
+    try:
+        return args.func(conn, args)
+    except ClientError as e:
+        print(f"nwclient: {e}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
